@@ -1,0 +1,34 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures at
+full (scaled) fidelity, asserts the headline shape, and archives the
+rendered output under ``benchmarks/results/`` so the numbers can be
+inspected after a run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.sim.device import LG_V10
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def device():
+    return LG_V10
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Callable that saves a rendered experiment and echoes it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name, text):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return save

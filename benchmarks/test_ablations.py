@@ -1,0 +1,138 @@
+"""Ablations over the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.harness import exp_ablations as ab
+
+
+def test_diff_vs_main_only(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_monitoring_mode(device, seed=9, runs_per_case=8),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "ablation_monitoring_mode",
+        "\n".join(
+            f"{mode}: top10-corr={stats['top10']:.3f} "
+            f"accuracy={stats['accuracy']:.3f} prune={stats['prune']:.3f}"
+            for mode, stats in result.items()
+        ),
+    )
+    assert result["diff"]["top10"] > result["main"]["top10"] + 0.02
+    assert result["diff"]["accuracy"] >= result["main"]["accuracy"] - 0.03
+
+
+def test_event_count(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_event_count(device, seed=9, runs=20),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "ablation_event_count",
+        "\n".join(f"{k} event(s): {v}/23 bugs recognized"
+                  for k, v in result.items()),
+    )
+    assert result[1] < result[2] <= result[3]
+    assert result[3] == 23
+
+
+def test_two_phase_vs_phase2_only(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_two_phase(device, seed=9), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_two_phase",
+        f"HD:  tp={result.hd_traced_tp} fp={result.hd_traced_fp} "
+        f"overhead={result.hd_overhead:.2f}%\n"
+        f"P2:  tp={result.phase2_traced_tp} fp={result.phase2_traced_fp} "
+        f"overhead={result.phase2_overhead:.2f}%",
+    )
+    assert result.hd_traced_fp < result.phase2_traced_fp / 3
+    assert result.hd_overhead < result.phase2_overhead
+
+
+def test_prefix_window(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_prefix_window(device, seed=9, runs_per_case=8),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "ablation_prefix_window",
+        f"UI false-positive rate: full-action={result['full']:.2f} "
+        f"prefix-only={result['prefix']:.2f}",
+    )
+    assert result["prefix"] > result["full"] + 0.1
+
+
+def test_reset_period(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_reset_period(device, seed=9), rounds=1,
+        iterations=1,
+    )
+    archive(
+        "ablation_reset_period",
+        "\n".join(
+            f"reset every {period:3d}: mean {latency:.0f} executions to "
+            f"catch the occasional bug" for period, latency in
+            result.items()
+        ),
+    )
+    periods = sorted(result)
+    assert result[periods[0]] < result[periods[-1]]
+
+
+def test_occurrence_threshold(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_occurrence_threshold(device, seed=9,
+                                               executions_per_action=8),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "ablation_occurrence_threshold",
+        "\n".join(f"threshold {t}: attribution accuracy {acc:.2f}"
+                  for t, acc in result.items()),
+    )
+    for accuracy in result.values():
+        assert accuracy >= 0.9
+
+
+def test_watchdog_vs_looper_instrumentation(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_watchdog(device, seed=9), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_watchdog",
+        "\n".join(
+            f"{name:10s} tp={tp} fp={fp} fn={fn} overhead={over:.2f}%"
+            for name, (tp, fp, fn, over) in result.items()
+        ),
+    )
+    wd = next(v for k, v in result.items() if k.startswith("WD"))
+    ti = result["TI"]
+    hd = result["HD"]
+    # The watchdog misses hangs TI catches; Hang Doctor keeps most of
+    # TI's recall at a fraction of everyone's false positives.
+    assert wd[0] < ti[0]
+    assert wd[2] > ti[2]
+    assert hd[1] < ti[1] / 3
+
+
+def test_jank_filter_alternative(benchmark, device, archive):
+    result = benchmark.pedantic(
+        lambda: ab.ablate_jank_filter(device, seed=9, runs_per_case=6),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "ablation_jank_filter",
+        "\n".join(
+            f"{name:10s} recall={recall:.2f} prune={prune:.2f}"
+            for name, (recall, prune) in result.items()
+        ),
+    )
+    jank_recall, _ = result["jank"]
+    counter_recall, counter_prune = result["counters"]
+    # Frozen frames are a clean signal when they appear, but hangs
+    # inside UI-busy actions dilute the jank ratio; the counter filter
+    # keeps far higher recall.
+    assert counter_recall > jank_recall + 0.2
+    assert counter_prune > 0.5

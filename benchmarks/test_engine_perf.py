@@ -1,0 +1,65 @@
+"""Simulator throughput micro-benchmarks.
+
+Not a paper artifact: raw performance of the substrate, so regressions
+in the engine's hot path (counter sampling, segment construction) show
+up in CI.  The fleet experiments run hundreds of thousands of
+operations; the engine needs to stay in the tens of microseconds per
+operation.
+"""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.core.hang_doctor import HangDoctor
+from repro.sim.engine import ExecutionEngine
+
+
+def test_engine_action_throughput(benchmark, device):
+    app = get_app("K9-mail")
+    engine = ExecutionEngine(device, seed=1)
+    action = app.action("open_email")
+    result = benchmark(lambda: engine.run_action(app, action))
+    assert result.events
+
+
+def test_engine_session_throughput(benchmark, device):
+    app = get_app("AndStatus")
+    engine = ExecutionEngine(device, seed=1)
+    names = [a.name for a in app.actions]
+    result = benchmark(lambda: engine.run_session(app, names, gap_ms=100.0))
+    assert len(result) == len(names)
+
+
+def test_hang_doctor_processing_throughput(benchmark, device):
+    app = get_app("K9-mail")
+    engine = ExecutionEngine(device, seed=1)
+    executions = engine.run_session(
+        app, [a.name for a in app.actions] * 4, gap_ms=100.0
+    )
+
+    def process_all():
+        doctor = HangDoctor(app, device, seed=1)
+        for execution in executions:
+            doctor.process(execution)
+        return doctor
+
+    doctor = benchmark(process_all)
+    assert doctor.report is not None
+
+
+def test_counter_model_throughput(benchmark, device):
+    from repro.base.kinds import ApiKind
+    from repro.base.rng import stream
+    from repro.sim.counters import CounterModel
+
+    model = CounterModel(device)
+    uarch = {"ipc": 1.0, "cache": 1.0, "branch": 1.0, "tlb": 1.0,
+             "mem": 1.0}
+    rng = stream("perf", 1)
+    counts = benchmark(
+        lambda: model.segment_counts(
+            kind=ApiKind.BLOCKING, thread="main", wall_ms=300.0,
+            cpu_ms=180.0, pages=900, uarch=uarch, rng=rng,
+        )
+    )
+    assert len(counts) == 46

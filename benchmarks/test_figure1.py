@@ -1,0 +1,35 @@
+"""Figure 1: A Better Camera's buggy vs fixed main-thread timeline.
+
+Paper: the Resume action's response time is 423 ms with ``Camera.open``
+on the main thread (the dominant operation) and 160 ms once it moves
+to a worker thread.
+"""
+
+import pytest
+
+from repro.harness.exp_motivation import figure1
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure1(device, seed=5, runs=40)
+
+
+def test_figure1(benchmark, device, archive, result):
+    run = benchmark.pedantic(
+        lambda: figure1(device, seed=5, runs=40), rounds=1, iterations=1
+    )
+    archive("figure1", run.render())
+
+
+def test_buggy_response_matches_paper(result):
+    assert result.buggy_response_ms == pytest.approx(423.0, rel=0.08)
+
+
+def test_fixed_response_matches_paper(result):
+    assert result.fixed_response_ms == pytest.approx(160.0, rel=0.12)
+
+
+def test_camera_open_dominates(result):
+    assert result.buggy_breakdown[0][0] == "android.hardware.Camera.open"
+    assert result.moved_api == "android.hardware.Camera.open"

@@ -1,0 +1,66 @@
+"""Figure 2(b): the Hang Bug Report entries for AndStatus.
+
+Paper: the report lists the app's detected soft hang bugs ordered by
+occurrence share — `transform` dominating (75 %), with two further
+bugs at 15 % and 10 %.
+"""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.apps.sessions import SessionGenerator
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.runner import run_detector
+from repro.sim.engine import ExecutionEngine
+
+
+def build_report(device, seed=7, users=6, actions_per_user=80):
+    app = get_app("AndStatus")
+    engine = ExecutionEngine(device, seed=seed)
+    doctor = HangDoctor(app, device, seed=seed)
+    generator = SessionGenerator(seed=seed)
+    for session in generator.fleet_sessions(app, users, actions_per_user):
+        executions = engine.run_session(
+            app, session.action_names, gap_ms=500.0
+        )
+        run_detector(doctor, executions, device_id=session.user_id)
+    return doctor.report
+
+
+@pytest.fixture(scope="module")
+def report(device):
+    return build_report(device)
+
+
+def test_figure2b(benchmark, device, archive, report):
+    run = benchmark.pedantic(
+        lambda: build_report(device), rounds=1, iterations=1
+    )
+    archive("figure2b", run.render())
+
+
+def test_all_three_bugs_reported(report):
+    assert len(report) == 3
+    operations = {entry.operation for entry in report.entries()}
+    assert "com.squareup.picasso.Transformation.transform" in operations
+    assert "android.graphics.BitmapFactory.decodeFile" in operations
+    assert "org.andstatus.app.TimelineFormatter.formatTimeline" in operations
+
+
+def test_entries_ordered_by_occurrence_share(report):
+    shares = [report.occurrence_share(e) for e in report.entries()]
+    assert shares == sorted(shares, reverse=True)
+    assert shares[0] > shares[-1]
+
+
+def test_occurrences_span_multiple_devices(report):
+    top = report.entries()[0]
+    assert len(top.devices) >= 3
+
+
+def test_self_developed_flagged(report):
+    loop = next(
+        entry for entry in report.entries()
+        if "formatTimeline" in entry.operation
+    )
+    assert loop.is_self_developed

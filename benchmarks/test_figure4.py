@@ -1,0 +1,70 @@
+"""Figure 4: the soft-hang-bug symptom distributions and the filter.
+
+Paper: most bug samples sit above the three thresholds (positive
+context-switch difference; task-clock and page-fault differences above
+device-calibrated cuts) while most UI samples sit below; the fitted
+filter catches 100 % of the training bugs and prunes 64 % of the UI
+false positives (81 % accuracy).
+"""
+
+import pytest
+
+from repro.harness.exp_filter import figure4
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure4(device, seed=7, runs_per_case=10)
+
+
+def test_figure4(benchmark, device, archive, result):
+    from repro.viz import distribution_panel
+
+    run = benchmark.pedantic(
+        lambda: figure4(device, seed=7, runs_per_case=10),
+        rounds=1, iterations=1,
+    )
+    panels = "\n\n".join(
+        distribution_panel(event, bug_values, ui_values,
+                           run.thresholds[event])
+        for event, (bug_values, ui_values) in run.distributions.items()
+    )
+    archive("figure4", run.render() + "\n\n" + panels)
+
+
+def test_bug_exceedance_beats_ui_everywhere(result):
+    for event, (bug_rate, ui_rate) in result.exceedance.items():
+        assert bug_rate > ui_rate + 0.3, event
+
+
+def test_context_switch_rates_match_paper_shape(result):
+    bug_rate, ui_rate = result.exceedance["context-switches"]
+    assert bug_rate > 0.7   # paper: 90 % positive
+    assert ui_rate < 0.25   # paper: ~10 %
+
+
+def test_shipped_filter_training_recall(result):
+    assert result.recall >= 0.9  # paper: 100 %
+
+
+def test_shipped_filter_prunes_false_positives(result):
+    assert result.prune_rate >= 0.6  # paper: 64 %
+
+
+def test_shipped_filter_accuracy(result):
+    assert result.accuracy >= 0.8  # paper: 81 %
+
+
+def test_fitted_filter_uses_few_kernel_events(result):
+    scheduling = {"context-switches", "task-clock", "cpu-clock",
+                  "page-faults", "minor-faults", "cpu-migrations",
+                  "major-faults"}
+    chosen = set(result.fitted.thresholds)
+    assert chosen <= scheduling
+    assert 2 <= len(chosen) <= 4  # paper: exactly 3
+
+
+def test_distributions_sorted_descending(result):
+    for bug_values, ui_values in result.distributions.values():
+        assert bug_values == sorted(bug_values, reverse=True)
+        assert ui_values == sorted(ui_values, reverse=True)

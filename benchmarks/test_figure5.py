@@ -1,0 +1,54 @@
+"""Figure 5: main/render context-switch traces over time.
+
+Paper: during a bug hang the main thread switches and the render
+thread is starved for the whole window; during a UI hang the *early*
+windows still look bug-like (the main thread computes before the
+render thread gets work), which is why S-Checker counts to the end of
+the action.
+"""
+
+import pytest
+
+from repro.harness.exp_filter import figure5
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure5(device, seed=7)
+
+
+def test_figure5(benchmark, device, archive, result):
+    from repro.viz import dual_series_chart
+
+    run = benchmark.pedantic(
+        lambda: figure5(device, seed=7), rounds=1, iterations=1
+    )
+    charts = "\n\n".join(
+        f"{name}\n" + dual_series_chart(
+            [(t, m) for t, m, _ in series],
+            [(t, r) for t, _, r in series],
+        )
+        for name, series in (("soft hang bug action", run.bug_series),
+                             ("UI-API action", run.ui_series))
+    )
+    archive("figure5", run.render() + "\n\n" + charts)
+
+
+def test_bug_hang_main_dominates_throughout(result):
+    main_total = sum(m for _, m, _ in result.bug_series)
+    render_total = sum(r for _, _, r in result.bug_series)
+    assert main_total > 1.5 * render_total
+
+
+def test_ui_action_render_dominates_overall(result):
+    assert result.ui_total_positive < 0.5
+
+
+def test_early_ui_windows_are_misleading(result):
+    assert result.ui_early_positive > result.ui_total_positive
+    assert result.ui_early_positive >= 0.5
+
+
+def test_series_cover_whole_actions(result):
+    assert len(result.bug_series) >= 5
+    assert len(result.ui_series) >= 3

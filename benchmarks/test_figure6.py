@@ -1,0 +1,50 @@
+"""Figure 6: the K9-mail Open-email diagnosis walk-through.
+
+Paper: the first manifested hang (1.3 s) makes S-Checker read a
+positive context-switch difference and mark the action Suspicious; on
+the next manifestation the Diagnoser collects ~62 stack traces and
+attributes the hang to ``HtmlCleaner.clean`` with a 96 % occurrence
+factor.
+"""
+
+import pytest
+
+from repro.harness.exp_casestudy import figure6
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure6(device, seed=3)
+
+
+def test_figure6(benchmark, device, archive, result):
+    run = benchmark.pedantic(
+        lambda: figure6(device, seed=3), rounds=1, iterations=1
+    )
+    archive("figure6", run.render())
+
+
+def test_root_cause_is_htmlcleaner_clean(result):
+    assert result.root_operation == "org.htmlcleaner.HtmlCleaner.clean"
+    assert result.root_file == "HtmlCleaner.java"
+
+
+def test_occurrence_factor_matches_paper(result):
+    assert result.occurrence_factor == pytest.approx(0.96, abs=0.06)
+
+
+def test_hang_length_in_paper_band(result):
+    assert 700.0 <= result.diagnoser_response_ms <= 2500.0
+
+
+def test_schecker_saw_positive_context_switch_difference(result):
+    assert result.schecker_values["context-switches"] > 0
+
+
+def test_trace_count_tracks_hang_length(result):
+    expected = result.diagnoser_response_ms / 20.0
+    assert result.traces_collected == pytest.approx(expected, rel=0.3)
+
+
+def test_diagnosis_happened_after_schecker(result):
+    assert result.diagnoser_execution > result.schecker_execution

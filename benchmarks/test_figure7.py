@@ -1,0 +1,46 @@
+"""Figure 7: state transitioning on K9-mail's UI actions.
+
+Paper: Folders hangs but is filtered to Normal by S-Checker (no stack
+traces ever collected); Inbox hangs with bug-like symptoms once,
+becomes Suspicious, costs one stack-trace collection, and is cleared
+to Normal by the Diagnoser — never traced again.
+"""
+
+import pytest
+
+from repro.harness.exp_casestudy import figure7
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure7(device, seed=1, rounds=6)
+
+
+def test_figure7(benchmark, device, archive, result):
+    run = benchmark.pedantic(
+        lambda: figure7(device, seed=1, rounds=6), rounds=1, iterations=1
+    )
+    archive("figure7", run.render())
+
+
+def test_folders_filtered_without_tracing(result):
+    assert result.traces_for("folders") == 0
+    assert result.final_state("folders") == "N"
+
+
+def test_inbox_false_positive_costs_exactly_one_trace(result):
+    assert result.traces_for("inbox") == 1
+    assert result.final_state("inbox") == "N"
+
+
+def test_inbox_went_through_suspicious(result):
+    states = [s.state_after for s in result.steps
+              if s.action_name == "inbox"]
+    assert "S" in states
+
+
+def test_components_engaged_in_order(result):
+    inbox_steps = [s for s in result.steps if s.action_name == "inbox"]
+    components = [s.component for s in inbox_steps if s.component != "-"]
+    assert components[0] == "S-Checker"
+    assert "Diagnoser" in components

@@ -1,0 +1,83 @@
+"""Figure 8: detection performance and overhead vs the baselines.
+
+Paper (averages over the representative apps): Hang Doctor traces 80 %
+of the true bug hangs at <10 % of TI's false positives; UTL traces
+8-22x TI's false positives; UTH misses ~62 % of the bugs; overheads
+are ~25 % (UTL), ~10 % (UTH), 2.26 % (TI), 0.83 % (HD), 0.58 %
+(UTH+TI).
+"""
+
+import pytest
+
+from repro.harness.exp_comparison import figure8
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return figure8(device, seed=2, users=2, actions_per_user=60)
+
+
+def test_figure8(benchmark, device, archive, result):
+    from repro.viz import hbar_chart
+
+    run = benchmark.pedantic(
+        lambda: figure8(device, seed=2, users=2, actions_per_user=60),
+        rounds=1, iterations=1,
+    )
+    over = run.overheads()["Average"]
+    chart = hbar_chart(sorted(over.items(), key=lambda kv: -kv[1]),
+                       title="Average overhead (%)")
+    archive("figure8", run.render() + "\n\n" + chart)
+
+
+def test_hd_true_positive_share(result):
+    tp = result.normalized("tp")["Average"]
+    assert tp["HD"] == pytest.approx(0.8, abs=0.15)  # paper: ~0.8
+
+
+def test_hd_false_positives_below_10_percent_of_ti(result):
+    fp = result.normalized("fp")["Average"]
+    assert fp["HD"] < 0.1
+
+
+def test_utl_false_positive_explosion(result):
+    fp = result.normalized("fp")["Average"]
+    assert 6.0 <= fp["UTL"] <= 30.0  # paper: 8-22x
+
+
+def test_uth_misses_most_bugs(result):
+    tp = result.normalized("tp")["Average"]
+    assert tp["UTH"] < 0.55  # paper: misses 62 %
+
+
+def test_utl_catches_everything(result):
+    tp = result.normalized("tp")["Average"]
+    assert tp["UTL"] == pytest.approx(1.0, abs=0.02)
+
+
+def test_overhead_ordering(result):
+    over = result.overheads()["Average"]
+    assert over["UTL"] > over["UTH"] > over["TI"] > over["HD"]
+
+
+def test_hd_overhead_well_below_ti(result):
+    over = result.overheads()["Average"]
+    assert over["HD"] < 0.8 * over["TI"]  # paper: 63 % lower
+
+
+def test_ti_overhead_matches_paper(result):
+    over = result.overheads()["Average"]
+    assert over["TI"] == pytest.approx(2.26, abs=0.8)
+
+
+def test_no_baseline_matches_hd_quality_and_cost(result):
+    """The paper's bottom line: no baseline combines high TP, low FP,
+    and low overhead like Hang Doctor."""
+    tp = result.normalized("tp")["Average"]
+    fp = result.normalized("fp")["Average"]
+    over = result.overheads()["Average"]
+    for detector in ("TI", "UTL", "UTH", "UTL+TI", "UTH+TI"):
+        good_tp = tp[detector] >= 0.75
+        low_fp = fp[detector] <= 0.2
+        cheap = over[detector] <= over["HD"] * 1.2
+        assert not (good_tp and low_fp and cheap), detector

@@ -1,0 +1,83 @@
+"""Cross-device generality (paper §3.3.1, "Generality of the
+Analysis").
+
+The paper verifies its correlation analysis and thresholds on an LG
+V10, a Nexus 5, and a Galaxy S3: the selected events are mostly kernel
+software events, so "different platforms have similar correlation
+analysis results" and "the selected thresholds and events are
+generally good also for other platforms".
+"""
+
+import pytest
+
+from repro.analysis.correlation import correlate, ranked_events
+from repro.analysis.thresholds import FilterFit
+from repro.core.config import HangDoctorConfig
+from repro.harness.exp_filter import training_samples
+from repro.sim.device import ALL_DEVICES
+
+SCHEDULING = {"context-switches", "task-clock", "cpu-clock",
+              "page-faults", "minor-faults", "cpu-migrations"}
+
+
+@pytest.fixture(scope="module")
+def per_device_samples():
+    return {
+        device.name: training_samples(device, seed=7, runs_per_case=6)
+        for device in ALL_DEVICES
+    }
+
+
+def test_generality(benchmark, archive, per_device_samples):
+    def run():
+        lines = []
+        shipped = FilterFit(
+            thresholds=dict(HangDoctorConfig().filter_thresholds)
+        )
+        for name, samples in per_device_samples.items():
+            ranking = ranked_events(correlate(samples), top=5)
+            tp, fp, fn, tn = shipped.confusion(samples)
+            recall = tp / (tp + fn)
+            prune = tn / (tn + fp)
+            top = ", ".join(event for event, _ in ranking)
+            lines.append(
+                f"{name:10s} recall={recall:.2f} prune={prune:.2f} "
+                f"top5=[{top}]"
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive("generality", text)
+
+
+@pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.name)
+def test_top5_is_kernel_scheduling_on_every_device(device,
+                                                   per_device_samples):
+    ranking = ranked_events(correlate(per_device_samples[device.name]),
+                            top=5)
+    top5 = {event for event, _ in ranking}
+    assert len(top5 & SCHEDULING) >= 4, (device.name, top5)
+
+
+@pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.name)
+def test_shipped_thresholds_transfer(device, per_device_samples):
+    """The LG V10-calibrated filter keeps high recall and useful
+    pruning on the other two devices."""
+    shipped = FilterFit(
+        thresholds=dict(HangDoctorConfig().filter_thresholds)
+    )
+    samples = per_device_samples[device.name]
+    tp, fp, fn, tn = shipped.confusion(samples)
+    assert tp / (tp + fn) >= 0.85, device.name
+    assert tn / (tn + fp) >= 0.5, device.name
+
+
+def test_rankings_agree_across_devices(per_device_samples):
+    tops = {
+        name: {e for e, _ in
+               ranked_events(correlate(samples), top=6)}
+        for name, samples in per_device_samples.items()
+    }
+    reference = tops["LG V10"]
+    for name, top in tops.items():
+        assert len(top & reference) >= 4, (name, top)

@@ -1,0 +1,40 @@
+"""Full paper-claim verification (the machine-readable EXPERIMENTS.md).
+
+Runs every headline experiment and grades each measured number against
+the paper's published value under the documented tolerances.
+"""
+
+import pytest
+
+from repro.harness.paper import verify_reproduction
+
+
+@pytest.fixture(scope="module")
+def verification(device):
+    return verify_reproduction(device)
+
+
+def test_paper_claims(benchmark, device, archive, verification):
+    checks, text = benchmark.pedantic(
+        lambda: verify_reproduction(device), rounds=1, iterations=1
+    )
+    archive("paper_claims", text)
+
+
+def test_no_claim_deviates(verification):
+    checks, _ = verification
+    deviating = [c.claim.key for c in checks if c.verdict == "deviates"]
+    assert deviating == []
+
+
+def test_most_claims_hold_outright(verification):
+    checks, _ = verification
+    holding = sum(1 for check in checks if check.verdict == "holds")
+    assert holding >= 0.8 * len(checks)
+
+
+def test_every_registered_claim_was_measured(verification):
+    from repro.harness.paper import PAPER_CLAIMS
+
+    checks, _ = verification
+    assert {check.claim.key for check in checks} == set(PAPER_CLAIMS)

@@ -1,0 +1,80 @@
+"""Seed-stability of the headline reproductions.
+
+Not a paper artifact — a guard that the reproduction's claims hold
+across independent random seeds, not just the benchmark defaults.
+"""
+
+import pytest
+
+from repro.harness.exp_stability import (
+    comparison_stability,
+    filter_stability,
+    fleet_stability,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet(device):
+    return fleet_stability(device)
+
+
+@pytest.fixture(scope="module")
+def comparison(device):
+    return comparison_stability(device)
+
+
+@pytest.fixture(scope="module")
+def filt(device):
+    return filter_stability(device)
+
+
+def test_stability(benchmark, device, archive, fleet, comparison, filt):
+    def run():
+        return "\n\n".join(
+            (fleet.render(), comparison.render(), filt.render())
+        )
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    archive("stability", text)
+
+
+def test_fleet_detects_most_bugs_on_every_seed(fleet):
+    lo, _ = fleet.spread("bugs_detected")
+    assert lo >= 30  # of the 34 ground-truth bugs
+
+
+def test_fleet_missed_offline_share_stable(fleet):
+    for detected, missed in zip(fleet.metrics["bugs_detected"],
+                                fleet.metrics["missed_offline"]):
+        assert 0.6 <= missed / detected <= 0.75  # paper: 0.68
+
+
+def test_no_clean_app_flagged_on_any_seed(fleet):
+    assert fleet.spread("clean_flagged") == (0.0, 0.0)
+
+
+def test_hd_tp_ratio_stable(comparison):
+    lo, hi = comparison.spread("hd_tp_ratio")
+    assert lo >= 0.6
+    assert hi <= 1.0
+
+
+def test_hd_fp_ratio_always_tiny(comparison):
+    _, hi = comparison.spread("hd_fp_ratio")
+    assert hi <= 0.1
+
+
+def test_hd_cheaper_than_ti_on_every_seed(comparison):
+    for hd, ti in zip(comparison.metrics["hd_overhead"],
+                      comparison.metrics["ti_overhead"]):
+        assert hd < ti
+
+
+def test_filter_recall_stable(filt):
+    lo, _ = filt.spread("recall")
+    assert lo >= 0.95
+
+
+def test_filter_stays_small(filt):
+    _, hi = filt.spread("events")
+    assert hi <= 4

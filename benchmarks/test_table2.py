@@ -1,0 +1,51 @@
+"""Table 2: the timeout-value dilemma over the eight Table 1 apps.
+
+Paper totals — TP: 0/19, 1/19, 2/19, 19/19 at 5 s / 1 s / 500 ms /
+100 ms; FP: 0, 0, 8, 33.
+"""
+
+import pytest
+
+from repro.harness.exp_motivation import table2
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return table2(device, seed=5, executions_per_action=15)
+
+
+def test_table2(benchmark, device, archive, result):
+    run = benchmark.pedantic(
+        lambda: table2(device, seed=5, executions_per_action=15),
+        rounds=1, iterations=1,
+    )
+    archive("table2", run.render())
+
+
+def test_anr_timeout_misses_everything(result):
+    assert result.totals()[5000.0] == (0, 0)
+
+
+def test_one_second_catches_only_seadroid(result):
+    tp, fp = result.totals()[1000.0]
+    assert tp == 1
+    assert fp == 0
+    assert result.per_app["SeaDroid"][1000.0][0] == 1
+
+
+def test_500ms_catches_two_bugs(result):
+    tp, _ = result.totals()[500.0]
+    assert 1 <= tp <= 4  # paper: 2 (FrostWire + SeaDroid)
+    assert result.per_app["FrostWire"][500.0][0] == 1
+    assert result.per_app["SeaDroid"][500.0][0] == 1
+
+
+def test_100ms_catches_all_19_bugs(result):
+    tp, fp = result.totals()[100.0]
+    assert tp == result.total_bugs() == 19
+    assert 25 <= fp <= 45  # paper: 33
+
+
+def test_false_positives_at_500ms(result):
+    _, fp = result.totals()[500.0]
+    assert 5 <= fp <= 13  # paper: 8

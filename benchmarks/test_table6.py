@@ -1,0 +1,57 @@
+"""Table 6: which filter event recognizes each validation bug.
+
+Paper: of the 23 previously-unknown bugs, context-switches recognizes
+18, task-clock 12, page-faults 12 — and their union recognizes all 23,
+which is why S-Checker needs all three events.
+"""
+
+import pytest
+
+from repro.harness.exp_fleet import table6
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    return table6(device, seed=11, runs=25)
+
+
+def test_table6(benchmark, device, archive, result):
+    run = benchmark.pedantic(
+        lambda: table6(device, seed=11, runs=25), rounds=1, iterations=1
+    )
+    archive("table6", run.render())
+
+
+def test_23_validation_bugs(result):
+    assert result.total_bugs == 23
+
+
+def test_union_recognizes_every_bug(result):
+    assert result.undetected == []
+
+
+def test_each_event_recognizes_a_majority_but_not_all(result):
+    totals = result.totals()
+    for event, count in totals.items():
+        assert 10 <= count <= 22, (event, count)
+
+
+def test_single_event_insufficient(result):
+    """No single counter covers all 23 bugs (the paper's argument for
+    a multi-event filter)."""
+    totals = result.totals()
+    assert all(count < 23 for count in totals.values())
+
+
+def test_omni_notes_is_page_fault_territory(result):
+    omni = next(row for row in result.rows if row.app_name == "Omni-Notes")
+    assert omni.by_event["page-faults"] == omni.new_bugs == 3
+    assert omni.by_event["context-switches"] == 0
+
+
+def test_merchant_is_context_switch_territory(result):
+    merchant = next(
+        row for row in result.rows if row.app_name == "Merchant"
+    )
+    assert merchant.by_event["context-switches"] == 1
+    assert merchant.by_event["task-clock"] == 0

@@ -1,0 +1,47 @@
+"""§4.6: in-lab testing vs in-the-wild detection.
+
+The paper argues a test bed (automated inputs, synthetic content)
+catches bugs before release but "cannot completely recreate the real
+environment", so some bugs never manifest there.  This bench measures
+the coverage gap over the bug-bearing catalog apps.
+"""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.testbed import lab_vs_wild
+
+APPS = ("K9-mail", "Sage Math", "AndStatus", "Omni-Notes",
+        "StickerCamera", "SkyTube", "QKSMS", "Merchant")
+
+
+@pytest.fixture(scope="module")
+def result(device):
+    apps = [get_app(name) for name in APPS]
+    return lab_vs_wild(apps, device, seed=4)
+
+
+def test_testbed(benchmark, device, archive, result):
+    apps = [get_app(name) for name in APPS]
+    run = benchmark.pedantic(
+        lambda: lab_vs_wild(apps, device, seed=4), rounds=1, iterations=1
+    )
+    archive("testbed_vs_wild", run.render())
+
+
+def test_lab_catches_content_independent_bugs(result):
+    lab, _, bugs = result.per_app["StickerCamera"]
+    assert lab == bugs
+
+
+def test_lab_misses_content_dependent_bugs(result):
+    missed = result.missed_in_lab()
+    assert any("HtmlCleaner.clean" in site for _, site in missed)
+
+
+def test_wild_at_least_matches_lab_overall(result):
+    assert result.wild_found >= result.lab_found
+
+
+def test_neither_environment_is_complete(result):
+    assert result.lab_found < result.total_bugs

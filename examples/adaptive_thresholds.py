@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Filter self-adaptation on a mis-calibrated device (paper §3.3.1).
+
+Ships Hang Doctor to a device with absurdly wrong filter thresholds
+(as if a vendor port scaled every counter differently), then lets the
+periodic background collection repair them: each sampled hang is
+labelled by its own stack traces, and once a batch accumulates, the
+adapter decides between a light threshold nudge and a heavy refit.
+
+Run:  python examples/adaptive_thresholds.py
+"""
+
+from repro import ExecutionEngine, LG_V10, get_app
+from repro.core import BackgroundCollector, HangDoctorConfig
+from repro.core.hang_doctor import HangDoctor
+
+
+def detection_rate(app, device, config, seed, rounds=60):
+    """Fraction of bug hangs a fresh Hang Doctor traces."""
+    engine = ExecutionEngine(device, seed=seed)
+    doctor = HangDoctor(app, device, config=config, seed=seed)
+    bug_hangs = 0
+    traced = 0
+    for _ in range(rounds):
+        for action in app.actions:
+            execution = engine.run_action(app, action)
+            outcome = doctor.process(execution)
+            if execution.bug_caused_hang():
+                bug_hangs += 1
+                traced += bool(outcome.trace_episodes)
+    return traced / max(1, bug_hangs)
+
+
+def main():
+    app = get_app("K9-mail")
+    device = LG_V10
+
+    broken = HangDoctorConfig(filter_thresholds={
+        "context-switches": 1e6,   # nothing ever fires
+        "task-clock": 1e18,
+        "page-faults": 1e9,
+    })
+    print("Mis-calibrated thresholds:", broken.filter_thresholds)
+    print(f"  bug-hang trace rate: "
+          f"{detection_rate(app, device, broken, seed=5):.0%}\n")
+
+    print("Running the background collection + adaptation loop...")
+    config = HangDoctorConfig(filter_thresholds=dict(
+        broken.filter_thresholds
+    ))
+    collector = BackgroundCollector(
+        device, config, app_package=app.package, period=2, batch_size=16,
+    )
+    engine = ExecutionEngine(device, seed=5)
+    adapted = None
+    for round_index in range(400):
+        for action in app.actions:
+            result = collector.observe(engine.run_action(app, action))
+            if result is not None:
+                adapted = result
+                break
+        if adapted:
+            break
+    if adapted is None:
+        raise SystemExit("adaptation never triggered; try another seed")
+
+    print(f"  adaptation mode   : {adapted.mode}")
+    print(f"  errors before     : fn={adapted.errors_before[0]} "
+          f"fp={adapted.errors_before[1]}")
+    print(f"  errors after      : fn={adapted.errors_after[0]} "
+          f"fp={adapted.errors_after[1]}")
+    print("  new thresholds    :")
+    for event, value in config.filter_thresholds.items():
+        print(f"    {event:18s} > {value:.4g}")
+
+    print(f"\n  bug-hang trace rate after adaptation: "
+          f"{detection_rate(app, device, config, seed=6):.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Head-to-head: Hang Doctor vs the baselines (paper Fig. 8).
+
+Runs TI (timeout), UTL/UTH (utilization thresholds), their timeout
+combinations, and Hang Doctor over identical sessions of the paper's
+representative apps, then prints true/false positives normalized to TI
+and the monitoring overhead of each detector.
+
+Run:  python examples/detector_comparison.py
+"""
+
+from repro import LG_V10
+from repro.harness.exp_comparison import figure8
+
+
+def main():
+    print("Comparing six detectors over five apps "
+          "(this takes a few seconds)...\n")
+    result = figure8(LG_V10, seed=11, users=2, actions_per_user=60)
+    print(result.render())
+
+    tp = result.normalized("tp")["Average"]
+    fp = result.normalized("fp")["Average"]
+    over = result.overheads()["Average"]
+    print("\nReading the averages like the paper does:")
+    print(f"  - HD traces {tp['HD']:.0%} of the true bug hangs "
+          f"(paper: ~80%) at {fp['HD']:.0%} of TI's false positives "
+          f"(paper: <10%).")
+    print(f"  - UTL catches everything but traces {fp['UTL']:.1f}x TI's "
+          f"false positives (paper: 8-22x).")
+    print(f"  - UTH stays quiet but misses {1 - tp['UTH']:.0%} of the "
+          f"bugs (paper: ~62%).")
+    print(f"  - Overhead: HD {over['HD']:.2f}% vs TI {over['TI']:.2f}% "
+          f"vs UTL {over['UTL']:.2f}% (paper: 0.83 / 2.26 / ~25).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: embed Hang Doctor in an app and watch it work.
+
+Runs the K9-mail model on a simulated LG V10, processes a short user
+session through Hang Doctor, and prints what the two-phase algorithm
+did: which actions were filtered as UI work, which got diagnosed, the
+root causes it found, and the developer-facing Hang Bug Report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExecutionEngine, HangDoctor, LG_V10, get_app
+from repro.apps.sessions import SessionGenerator
+
+
+def main():
+    app = get_app("K9-mail")
+    device = LG_V10
+    engine = ExecutionEngine(device, seed=42)
+    doctor = HangDoctor(app, device, seed=42)
+
+    print(f"App under test : {app.name} ({app.package})")
+    print(f"Device         : {device.name}")
+    print(f"Actions        : {[a.name for a in app.actions]}")
+    print()
+
+    session = SessionGenerator(seed=42).user_session(
+        app, user_id=0, actions_per_user=60
+    )
+    print(f"Replaying a user session of {len(session)} actions...\n")
+
+    detections = 0
+    for index, action_name in enumerate(session.action_names, start=1):
+        execution = engine.run_action(app, app.action(action_name))
+        outcome = doctor.process(execution)
+        for detection in outcome.detections:
+            detections += 1
+            print(
+                f"  [{index:03d}] SOFT HANG BUG in '{detection.action_name}'"
+                f" ({detection.response_time_ms:.0f} ms): "
+                f"{detection.root_name} "
+                f"(occurrence factor {detection.occurrence:.0%})"
+            )
+
+    print(f"\n{detections} bug manifestations diagnosed.\n")
+
+    print("Final action states:")
+    for action in app.actions:
+        state = doctor.state_of(action.name)
+        print(f"  {action.name:16s} {state.value}")
+
+    print()
+    print(doctor.report.render())
+
+    discoveries = doctor.blocking_db.runtime_discoveries()
+    print(f"\nNew blocking APIs added to the offline database: {discoveries}")
+
+
+if __name__ == "__main__":
+    main()

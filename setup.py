@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools lacks PEP 660 editable-wheel support
+(no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""Hang Doctor (EuroSys 2018) reproduction.
+
+Runtime detection and diagnosis of soft hangs for smartphone apps,
+rebuilt on a simulated Android substrate.  Start here:
+
+>>> from repro import LG_V10, ExecutionEngine, HangDoctor, get_app
+>>> app = get_app("K9-mail")
+>>> engine = ExecutionEngine(LG_V10, seed=1)
+>>> doctor = HangDoctor(app, LG_V10)
+>>> for execution in engine.run_session(app, ["open_email"] * 3):
+...     outcome = doctor.process(execution)
+
+See ``examples/quickstart.py`` for the guided version, DESIGN.md for
+the system inventory, and EXPERIMENTS.md for the paper-vs-measured
+record of every table and figure.
+"""
+
+from repro.apps import (
+    ActionSpec,
+    ApiKind,
+    ApiSpec,
+    AppSpec,
+    InputEventSpec,
+    MOTIVATION_APPS,
+    Operation,
+    SessionGenerator,
+    TABLE5_APPS,
+    UserSession,
+    build_corpus,
+    get_app,
+)
+from repro.core import (
+    ActionState,
+    BlockingApiDatabase,
+    HangBugReport,
+    HangDoctor,
+    HangDoctorConfig,
+)
+from repro.detectors import (
+    OfflineScanner,
+    TimeoutDetector,
+    UtilizationDetector,
+    run_detector,
+    run_detectors,
+)
+from repro.testbed import MonkeyInputGenerator, TestBedRunner, lab_vs_wild
+from repro.sim import (
+    ExecutionEngine,
+    GALAXY_S3,
+    LG_V10,
+    NEXUS_5,
+    PERCEIVABLE_DELAY_MS,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionSpec",
+    "ActionState",
+    "ApiKind",
+    "ApiSpec",
+    "AppSpec",
+    "BlockingApiDatabase",
+    "ExecutionEngine",
+    "GALAXY_S3",
+    "HangBugReport",
+    "HangDoctor",
+    "HangDoctorConfig",
+    "InputEventSpec",
+    "LG_V10",
+    "MOTIVATION_APPS",
+    "MonkeyInputGenerator",
+    "NEXUS_5",
+    "OfflineScanner",
+    "Operation",
+    "PERCEIVABLE_DELAY_MS",
+    "SessionGenerator",
+    "TABLE5_APPS",
+    "TestBedRunner",
+    "TimeoutDetector",
+    "UserSession",
+    "UtilizationDetector",
+    "build_corpus",
+    "get_app",
+    "lab_vs_wild",
+    "run_detector",
+    "run_detectors",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Analysis layer: correlation, threshold fitting, metrics, overhead.
+
+Everything the paper's Section 3.3.1 does offline to *design*
+S-Checker (Pearson correlation of 46 events against labelled soft
+hangs, threshold fitting, training-set sensitivity) plus the
+evaluation machinery of Section 4 (TP/FP/FN accounting against ground
+truth, and the monitoring-overhead model behind Figure 8(c)).
+"""
+
+from repro.analysis.bootstrap import BootstrapResult, bootstrap_correlations
+from repro.analysis.correlation import (
+    CounterSample,
+    collect_samples,
+    correlate,
+    pearson,
+    ranked_events,
+    spearman,
+)
+from repro.analysis.metrics import (
+    ConfusionCounts,
+    detection_matches_bug,
+    match_detection,
+    traced_confusion,
+)
+from repro.analysis.overhead import OverheadModel, OverheadResult
+from repro.analysis.roc import RocCurve, auc_ranking, roc_curve
+from repro.analysis.summary import (
+    DetectorSummary,
+    render_summaries,
+    summarize_run,
+    summarize_runs,
+)
+from repro.analysis.sensitivity import sensitivity_analysis, subsample
+from repro.analysis.thresholds import FilterFit, fit_filter, fit_threshold
+
+__all__ = [
+    "BootstrapResult",
+    "ConfusionCounts",
+    "CounterSample",
+    "FilterFit",
+    "OverheadModel",
+    "OverheadResult",
+    "RocCurve",
+    "DetectorSummary",
+    "auc_ranking",
+    "bootstrap_correlations",
+    "collect_samples",
+    "correlate",
+    "detection_matches_bug",
+    "fit_filter",
+    "fit_threshold",
+    "match_detection",
+    "pearson",
+    "render_summaries",
+    "roc_curve",
+    "spearman",
+    "summarize_run",
+    "summarize_runs",
+    "ranked_events",
+    "sensitivity_analysis",
+    "subsample",
+    "traced_confusion",
+]

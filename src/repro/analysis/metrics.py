@@ -1,0 +1,133 @@
+"""Detection-quality metrics against ground truth.
+
+Two granularities, matching the paper's two ways of counting:
+
+* **Traced soft hangs** (Figure 8(a,b)): each hang execution that a
+  detector paid stack-trace collection for is a true positive if the
+  hang was caused by a ground-truth bug, a false positive if it was UI
+  work; bug hangs the detector did not trace are false negatives.
+* **Distinct bugs / detections** (Tables 2, 5, 6): a Detection is
+  matched back to the app's call sites via its root-cause frame, then
+  judged by the site's ground-truth label.
+
+Only this module ever consults ground truth; detectors never do.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ConfusionCounts:
+    """True/false positives and false negatives."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def precision(self):
+        """tp / (tp + fp); 0 when nothing was reported."""
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def recall(self):
+        """tp / (tp + fn); 0 when there was nothing to find."""
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    def add(self, other):
+        """Accumulate another count set into this one."""
+        self.tp += other.tp
+        self.fp += other.fp
+        self.fn += other.fn
+        return self
+
+
+def match_detection(app, detection):
+    """Map a detection's root frame back to an app call site.
+
+    The root may be the API's leaf frame, its library facade frame, or
+    the self-developed caller frame; any of them identifies the site.
+    When the same API is called from several sites, the detection's
+    caller frame disambiguates.  Returns the matching Operation or
+    None.
+    """
+    root = detection.root
+    if root is None:
+        return None
+    matches = []
+    for action in app.actions:
+        for op in action.operations():
+            candidates = [op.api.leaf_frame(), op.caller_frame(app.package)]
+            entry = op.api.entry_frame()
+            if entry is not None:
+                candidates.append(entry)
+            if root in candidates:
+                matches.append(op)
+    if not matches:
+        return None
+    if len(matches) > 1 and detection.caller is not None:
+        for op in matches:
+            if detection.caller == op.caller_frame(app.package):
+                return op
+    return matches[0]
+
+
+def detection_matches_bug(app, detection):
+    """True if the detection's root cause is a ground-truth bug site."""
+    op = match_detection(app, detection)
+    return op is not None and op.is_hang_bug
+
+
+def traced_confusion(executions, outcomes):
+    """Figure 8-style counting over one detector run.
+
+    Every *trace episode* a detector paid for is scored against ground
+    truth: an episode overlapping a bug-dominated hang event counts
+    toward tracing that hang (each bug hang is at most one TP); every
+    other episode is a false positive — this is what lets a
+    low-threshold utilization monitor rack up many times TI's false
+    positives by re-triggering on ordinary busy windows.  Bug hangs no
+    episode covered are false negatives.
+    """
+    if len(executions) != len(outcomes):
+        raise ValueError("executions and outcomes must align")
+    counts = ConfusionCounts()
+    for execution, outcome in zip(executions, outcomes):
+        bug_events = []
+        for event in execution.hang_events():
+            dominant = event.dominant_op()
+            if dominant is not None and dominant.op.is_hang_bug:
+                bug_events.append((event.dispatch_ms, event.finish_ms))
+        covered = [False] * len(bug_events)
+        for start, end in outcome.trace_episodes:
+            hit = False
+            for index, (lo, hi) in enumerate(bug_events):
+                if start < hi and end > lo:
+                    covered[index] = True
+                    hit = True
+            if not hit:
+                counts.fp += 1
+        counts.tp += sum(covered)
+        counts.fn += sum(1 for c in covered if not c)
+    return counts
+
+
+def detected_bug_sites(app, detections):
+    """Distinct ground-truth bug sites named by a detection list."""
+    sites = set()
+    for detection in detections:
+        op = match_detection(app, detection)
+        if op is not None and op.is_hang_bug:
+            sites.add(op.site_id)
+    return sites
+
+
+def false_positive_actions(app, detections):
+    """Distinct actions a detector blamed without a real bug root."""
+    actions = set()
+    for detection in detections:
+        if not detection_matches_bug(app, detection):
+            actions.add(detection.action_name)
+    return actions

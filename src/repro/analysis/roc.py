@@ -1,0 +1,83 @@
+"""Threshold sweeps (ROC curves) for filter events.
+
+The paper picks one operating point per event; sweeping the threshold
+over the whole sample range shows the full detection/false-positive
+trade-off and gives a scalar (AUC) for how separable bug and UI hangs
+are under each event — a compact way to compare events, monitoring
+modes, and devices beyond a single threshold choice.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """A swept detection curve for one event."""
+
+    event: str
+    #: (false-positive rate, true-positive rate) pairs, sorted by FPR.
+    points: Tuple[Tuple[float, float], ...]
+
+    @property
+    def auc(self):
+        """Area under the curve (0.5 = uninformative, 1.0 = perfect)."""
+        xs = np.array([x for x, _ in self.points])
+        ys = np.array([y for _, y in self.points])
+        # Trapezoid rule (numpy renamed trapz -> trapezoid in 2.0).
+        return float(np.sum((xs[1:] - xs[:-1]) * (ys[1:] + ys[:-1]) / 2.0))
+
+    def tpr_at_fpr(self, max_fpr):
+        """Best true-positive rate achievable at or under *max_fpr*."""
+        best = 0.0
+        for fpr, tpr in self.points:
+            if fpr <= max_fpr:
+                best = max(best, tpr)
+        return best
+
+    def operating_point(self, threshold_values, threshold):
+        """(fpr, tpr) the paper-style fixed *threshold* achieves.
+
+        *threshold_values* are the per-sample (value, label) pairs the
+        curve was built from.
+        """
+        bugs = [v for v, label in threshold_values if label]
+        uis = [v for v, label in threshold_values if not label]
+        tpr = (
+            sum(1 for v in bugs if v > threshold) / len(bugs) if bugs else 0.0
+        )
+        fpr = (
+            sum(1 for v in uis if v > threshold) / len(uis) if uis else 0.0
+        )
+        return fpr, tpr
+
+
+def roc_curve(samples: Sequence, event):
+    """Build the ROC curve of one event over labelled counter samples."""
+    pairs = [
+        (sample.values.get(event, 0.0), sample.is_hang_bug)
+        for sample in samples
+    ]
+    bugs = [value for value, label in pairs if label]
+    uis = [value for value, label in pairs if not label]
+    if not bugs or not uis:
+        raise ValueError("need both bug and UI samples")
+
+    thresholds = sorted({value for value, _ in pairs})
+    points = [(1.0, 1.0)]
+    for threshold in thresholds:
+        tpr = sum(1 for v in bugs if v > threshold) / len(bugs)
+        fpr = sum(1 for v in uis if v > threshold) / len(uis)
+        points.append((fpr, tpr))
+    points.append((0.0, 0.0))
+    points = sorted(set(points))
+    return RocCurve(event=event, points=tuple(points))
+
+
+def auc_ranking(samples, events):
+    """Events ranked by ROC AUC, descending — a threshold-free
+    alternative to the Pearson ranking of the paper's Table 3."""
+    scored = [(event, roc_curve(samples, event).auc) for event in events]
+    return sorted(scored, key=lambda pair: pair[1], reverse=True)

@@ -1,0 +1,69 @@
+"""Training-set sensitivity analysis (paper Table 4).
+
+The correlation ranking should not depend on the particular training
+set.  The paper randomly drops data points to form 75 % and 50 %
+training subsets, re-runs the correlation analysis, and checks that
+the top-5 events keep their ranking positions.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.correlation import correlate, ranked_events
+from repro.base.rng import stream
+
+
+def subsample(samples, fraction, seed=0, key="sensitivity"):
+    """Randomly keep *fraction* of the samples (at least two, and at
+    least one of each label so correlation stays defined)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = stream(seed, key, fraction)
+    count = max(2, int(round(len(samples) * fraction)))
+    indices = rng.choice(len(samples), size=min(count, len(samples)),
+                         replace=False)
+    chosen = [samples[i] for i in sorted(indices)]
+    labels = {sample.is_hang_bug for sample in chosen}
+    if len(labels) < 2:
+        # Force both classes in: swap in the first sample of the
+        # missing label.
+        missing = (True not in labels)
+        for sample in samples:
+            if sample.is_hang_bug == missing:
+                chosen[0] = sample
+                break
+    return chosen
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Correlation rankings for the full set and each subset."""
+
+    #: fraction -> ranked [(event, coefficient), ...]
+    rankings: Dict[float, Tuple]
+
+    def top_events(self, fraction, k=5):
+        """Names of the top-*k* events for one training fraction."""
+        return [event for event, _ in self.rankings[fraction][:k]]
+
+    def stable_top_k(self, k=5):
+        """True if the top-*k* ranking is identical across fractions."""
+        tops = [self.top_events(fraction, k) for fraction in self.rankings]
+        return all(top == tops[0] for top in tops)
+
+
+def sensitivity_analysis(samples: Sequence, fractions=(1.0, 0.75, 0.5),
+                         events=None, seed=0):
+    """Re-run the correlation analysis on training subsets."""
+    from repro.sim.counters import ALL_EVENTS
+
+    events = ALL_EVENTS if events is None else events
+    rankings = {}
+    for fraction in fractions:
+        subset = (
+            list(samples) if fraction >= 1.0
+            else subsample(samples, fraction, seed=seed)
+        )
+        coefficients = correlate(subset, events=events)
+        rankings[fraction] = tuple(ranked_events(coefficients))
+    return SensitivityResult(rankings=rankings)

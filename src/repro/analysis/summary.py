@@ -1,0 +1,79 @@
+"""Detector-quality summaries.
+
+Condenses a :class:`~repro.detectors.runner.DetectorRun` into the
+numbers a report needs — traced-hang precision/recall/F1 and the
+overhead percentage — and renders a comparison table over several
+runs.  Used by the CLI's ``compare`` command and by downstream users
+who want one row per detector instead of raw confusion counts.
+"""
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.overhead import OverheadModel
+from repro.harness.tables import render_table
+
+
+@dataclass(frozen=True)
+class DetectorSummary:
+    """One detector's quality/overhead digest."""
+
+    name: str
+    tp: int
+    fp: int
+    fn: int
+    overhead_percent: float
+
+    @property
+    def precision(self):
+        """tp / (tp + fp); 0 when nothing was reported."""
+        total = self.tp + self.fp
+        return self.tp / total if total else 0.0
+
+    @property
+    def recall(self):
+        """tp / (tp + fn); 0 when there was nothing to find."""
+        total = self.tp + self.fn
+        return self.tp / total if total else 0.0
+
+    @property
+    def f1(self):
+        """Harmonic mean of precision and recall."""
+        denominator = self.precision + self.recall
+        if denominator == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / denominator
+
+
+def summarize_run(run, model=None):
+    """Digest one DetectorRun."""
+    counts = run.confusion()
+    overhead = run.overhead(model or OverheadModel())
+    return DetectorSummary(
+        name=run.detector_name,
+        tp=counts.tp,
+        fp=counts.fp,
+        fn=counts.fn,
+        overhead_percent=overhead.average_percent,
+    )
+
+
+def summarize_runs(runs, model=None):
+    """Digest a {name: DetectorRun} mapping, best F1 first."""
+    summaries = [summarize_run(run, model) for run in runs.values()]
+    return sorted(summaries, key=lambda s: s.f1, reverse=True)
+
+
+def render_summaries(summaries: Sequence[DetectorSummary], title=None):
+    """ASCII table over detector summaries."""
+    rows = [
+        (s.name, s.tp, s.fp, s.fn,
+         round(s.precision, 3), round(s.recall, 3), round(s.f1, 3),
+         round(s.overhead_percent, 2))
+        for s in summaries
+    ]
+    return render_table(
+        ("detector", "tp", "fp", "fn", "precision", "recall", "f1",
+         "overhead%"),
+        rows, title=title or "Detector comparison",
+    )

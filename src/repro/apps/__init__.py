@@ -1,0 +1,63 @@
+"""App/workload model.
+
+Synthetic Android-like apps stand in for the 114 real apps the paper
+tested.  An :class:`~repro.apps.app.AppSpec` is a set of user actions;
+each action posts input events to the main thread; each input event
+executes a sequence of operations (API calls) with ground-truth labels
+(UI work vs. blocking/compute soft hang bugs).  The catalog module
+hand-models the named apps of the paper's Tables 1 and 5; the corpus
+module pads them with generated clean apps to reach the 114-app fleet.
+"""
+
+from repro.apps.api import (
+    ApiKind,
+    ApiSpec,
+    UI_CLASS_PREFIXES,
+    blocking_api,
+    compute_op,
+    is_ui_class,
+    light_api,
+    ui_api,
+)
+from repro.apps.app import (
+    ActionSpec,
+    AppSpec,
+    BugReport,
+    InputEventSpec,
+    Operation,
+)
+from repro.apps.catalog import (
+    MOTIVATION_APPS,
+    NAMED_APPS,
+    TABLE5_APPS,
+    get_app,
+)
+from repro.apps.corpus import build_corpus
+from repro.apps.replay import replay, sessions_from_json, sessions_to_json
+from repro.apps.sessions import SessionGenerator, UserSession
+
+__all__ = [
+    "ActionSpec",
+    "ApiKind",
+    "ApiSpec",
+    "AppSpec",
+    "BugReport",
+    "InputEventSpec",
+    "MOTIVATION_APPS",
+    "NAMED_APPS",
+    "Operation",
+    "SessionGenerator",
+    "TABLE5_APPS",
+    "UI_CLASS_PREFIXES",
+    "UserSession",
+    "blocking_api",
+    "build_corpus",
+    "compute_op",
+    "get_app",
+    "is_ui_class",
+    "light_api",
+    "replay",
+    "sessions_from_json",
+    "sessions_to_json",
+    "ui_api",
+]

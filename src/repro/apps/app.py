@@ -1,0 +1,205 @@
+"""App, action, and operation specifications.
+
+An :class:`AppSpec` models one Android app: a package name, store
+metadata (category, download count, commit — mirroring the paper's
+Table 5 columns), and a set of user actions.  Each
+:class:`ActionSpec` posts one or more :class:`InputEventSpec` messages
+to the main thread; each input event runs a sequence of
+:class:`Operation` call sites.
+
+Ground truth lives here: an operation whose API ``can_hang`` and that
+runs on the main thread is a soft hang bug.  Detectors never read these
+labels — only the metrics layer does.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.apps.api import ApiSpec, hash_line
+from repro.base.frames import Frame
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One call site inside an input event's handler code.
+
+    The caller fields identify the self-developed function containing
+    the call (they become the caller frames of stack traces and the
+    file/line Hang Doctor reports to the developer).
+    """
+
+    api: ApiSpec
+    caller_function: str
+    caller_file: str
+    caller_line: int
+    #: Developer moved this call to a worker thread (the "fixed" app).
+    on_worker: bool = False
+
+    @property
+    def is_hang_bug(self):
+        """Ground truth: a movable blocking/compute call on main thread."""
+        return self.api.can_hang and not self.on_worker
+
+    @property
+    def site_id(self):
+        """Stable identifier of the call site (for reports and dedup)."""
+        return f"{self.caller_file}:{self.caller_line}:{self.api.qualified_name}"
+
+    def caller_frame(self, package):
+        """Stack frame of the self-developed caller function."""
+        return Frame(
+            clazz=f"{package}.{self.caller_file[:-5]}",
+            method=self.caller_function,
+            file=self.caller_file,
+            line=self.caller_line,
+        )
+
+    def stack_frames(self, package, handler_frame):
+        """Full stack for this operation, outermost handler to leaf API."""
+        return (handler_frame, self.caller_frame(package)) + self.api.api_frames()
+
+
+@dataclass(frozen=True)
+class InputEventSpec:
+    """One message on the main thread's queue (part of an action)."""
+
+    name: str
+    operations: Tuple[Operation, ...]
+
+    def __post_init__(self):
+        if not self.operations:
+            raise ValueError(f"input event {self.name!r} has no operations")
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """One user action (tap, scroll, resume...) of an app."""
+
+    name: str
+    #: Listener/callback the action is delivered through (onClick, ...).
+    handler: str
+    events: Tuple[InputEventSpec, ...]
+
+    def __post_init__(self):
+        if not self.events:
+            raise ValueError(f"action {self.name!r} has no input events")
+
+    def operations(self):
+        """All call sites of the action, in execution order."""
+        return [op for event in self.events for op in event.operations]
+
+    def handler_frame(self, package):
+        """Outermost stack frame (the listener callback)."""
+        activity = self.name.title().replace("_", "") + "Activity"
+        return Frame(
+            clazz=f"{package}.{activity}",
+            method=self.handler,
+            file=f"{activity}.java",
+            line=25 + (hash_line(f"{package}.{self.name}") % 400),
+        )
+
+    def hang_bug_operations(self):
+        """Ground-truth soft hang bug call sites in this action."""
+        return [op for op in self.operations() if op.is_hang_bug]
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """Ground-truth record of one soft hang bug in a catalog app.
+
+    Mirrors a row fragment of the paper's Table 5: the GitHub issue the
+    authors opened, whether the bug was previously unknown as blocking
+    (and hence missed by the offline tool), and whether the developers
+    confirmed it.
+    """
+
+    site_id: str
+    issue_id: int
+    known_offline: bool
+    confirmed_by_developer: bool
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One simulated app."""
+
+    name: str
+    package: str
+    category: str
+    downloads: int
+    commit: str
+    actions: Tuple[ActionSpec, ...]
+    issue_id: Optional[int] = None
+    bug_reports: Tuple[BugReport, ...] = ()
+
+    def __post_init__(self):
+        names = [action.name for action in self.actions]
+        if len(names) != len(set(names)):
+            raise ValueError(f"app {self.name!r} has duplicate action names")
+
+    def action(self, name):
+        """Look up an action by name."""
+        for candidate in self.actions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"app {self.name!r} has no action {name!r}")
+
+    def hang_bug_operations(self):
+        """All ground-truth soft hang bug call sites in the app."""
+        bugs = []
+        seen = set()
+        for action in self.actions:
+            for op in action.hang_bug_operations():
+                if op.site_id not in seen:
+                    seen.add(op.site_id)
+                    bugs.append(op)
+        return bugs
+
+    def has_hang_bugs(self):
+        """True if any action contains a soft hang bug."""
+        return bool(self.hang_bug_operations())
+
+    def fixed(self, site_ids=None):
+        """Return the app with bug call sites moved to worker threads.
+
+        *site_ids* limits the fix to specific call sites; by default all
+        ground-truth bugs are fixed.  UI operations are never moved.
+        """
+
+        def fix_op(op):
+            if not op.is_hang_bug:
+                return op
+            if site_ids is not None and op.site_id not in site_ids:
+                return op
+            return replace(op, on_worker=True)
+
+        new_actions = []
+        for action in self.actions:
+            new_events = tuple(
+                replace(event, operations=tuple(fix_op(op) for op in event.operations))
+                for event in action.events
+            )
+            new_actions.append(replace(action, events=new_events))
+        return replace(self, actions=tuple(new_actions))
+
+    def operation_by_site(self, site_id):
+        """Find a call site by its :attr:`Operation.site_id`."""
+        for action in self.actions:
+            for op in action.operations():
+                if op.site_id == site_id:
+                    return op
+        raise KeyError(f"app {self.name!r} has no call site {site_id!r}")
+
+
+def simple_event(name, *operations):
+    """Convenience constructor for a single input event."""
+    return InputEventSpec(name=name, operations=tuple(operations))
+
+
+def simple_action(name, handler, *operations):
+    """Convenience constructor for a one-event action."""
+    return ActionSpec(
+        name=name,
+        handler=handler,
+        events=(simple_event(f"{name}_event", *operations),),
+    )

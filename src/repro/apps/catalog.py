@@ -1,0 +1,586 @@
+"""Hand-modelled catalog apps.
+
+The 16 bug-bearing apps of the paper's Table 5 and the 8 motivation
+apps of Table 1, rebuilt as synthetic :class:`~repro.apps.app.AppSpec`
+workloads.  Per-app bug inventories (count, offline detectability,
+developer confirmation, GitHub issue id) follow the paper:
+
+* 34 new soft hang bugs across the Table 5 apps;
+* 23 of them (68 %) caused by APIs *not* in the known-blocking
+  database, hence missed by a PerfChecker-style offline scanner;
+* 21 (62 %) confirmed by developers.
+
+Each app also carries realistic UI-only actions whose occasional slow
+executions are the false positives that plague timeout-only detection.
+"""
+
+from dataclasses import replace
+
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog_helpers import (
+    action,
+    event,
+    finish,
+    multi_action,
+    op,
+    ui_action,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 5 apps (new soft hang bugs found by Hang Doctor)
+# ---------------------------------------------------------------------------
+
+
+def _andstatus():
+    """Social timeline app; 3 bugs (issue #303), 2 missed offline.
+
+    The known ``BitmapFactory.decodeFile`` on timeline scroll is the
+    bug the developer first dismissed ("rarely executed") until Hang
+    Doctor showed 600 ms hangs on every scroll; ``transform`` and a
+    self-developed timeline formatter are unknown to offline tools.
+    """
+    transform = replace(
+        apis.IMAGE_TRANSFORM, mean_ms=300.0, cpu_share=0.4, pages=450,
+        manifest_prob=0.85, lab_manifest_scale=0.05,
+    )
+    format_loop = apis.heavy_loop(
+        "formatTimeline", "org.andstatus.app.TimelineFormatter",
+        mean_ms=165.0, cpu_share=0.9, pages=1800, manifest_prob=0.8,
+    )
+    scroll = action(
+        "scroll_timeline", "onScroll",
+        op(apis.BITMAP_DECODE_FILE, "loadAvatars", "TimelineAdapter.java"),
+        op(apis.SMOOTH_SCROLL, "scrollList", "TimelineAdapter.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "refreshList", "TimelineAdapter.java"),
+    )
+    open_post = action(
+        "open_post", "onItemClick",
+        op(transform, "decorateImages", "PostViewer.java"),
+        op(apis.SET_TEXT, "showBody", "PostViewer.java"),
+        op(apis.INFLATE, "buildLayout", "PostViewer.java"),
+    )
+    refresh = action(
+        "refresh_timeline", "onRefresh",
+        op(format_loop, "rebuildTimeline", "TimelineFormatter.java"),
+        op(apis.ON_DRAW, "redraw", "TimelineView.java"),
+        op(apis.ON_MEASURE, "measure", "TimelineView.java"),
+        op(apis.ON_LAYOUT, "layout", "TimelineView.java"),
+        op(apis.ADD_VIEW, "attachRows", "TimelineView.java"),
+    )
+    compose = ui_action("compose", apis.INFLATE, apis.SET_TEXT,
+                        apis.REQUEST_LAYOUT)
+    settings = ui_action("open_settings", apis.INFLATE, apis.ADD_VIEW)
+    app = AppSpec(
+        name="AndStatus", package="org.andstatus.app", category="Social",
+        downloads=1_000, commit="49ef41c",
+        actions=(scroll, open_post, refresh, compose, settings),
+    )
+    return finish(app, issue_id=303, confirmed=True)
+
+
+def _dashclock():
+    """Personalization widget; 1 known-API bug (SharedPreferences
+    commit on the main thread), detectable offline."""
+    save = action(
+        "save_settings", "onClick",
+        op(apis.PREFS_COMMIT, "persistSettings",
+           "ConfigurationActivity.java"),
+        op(apis.SET_TEXT, "confirmSave", "ConfigurationActivity.java"),
+    )
+    configure = ui_action("configure_widget", apis.INFLATE, apis.ADD_VIEW,
+                          apis.SEEKBAR_INIT)
+    preview = ui_action("preview", apis.ON_DRAW, apis.INVALIDATE)
+    app = AppSpec(
+        name="DashClock", package="net.nurik.roman.dashclock",
+        category="Personalization", downloads=1_000_000, commit="7e248f7",
+        actions=(save, configure, preview),
+    )
+    return finish(app, issue_id=874, confirmed=False)
+
+
+def _cyclestreets():
+    """Travel app with map loading; 4 bugs (3 unknown).  Its map-drawing
+    UI actions are CPU-heavy on the main thread, which is why
+    utilization-threshold baselines drown in false positives here
+    (paper §4.4)."""
+    geocoder = replace(apis.GEOCODER_LOOKUP, manifest_prob=0.8, pages=350,
+                       lab_manifest_scale=0.4)
+    svg = replace(apis.SVG_PARSE, mean_ms=380.0, pages=500)
+    smoothing = apis.heavy_loop(
+        "smoothRoute", "net.cyclestreets.RouteSmoother",
+        mean_ms=260.0, cpu_share=0.95, pages=250,
+    )
+    plan_route = action(
+        "plan_route", "onClick",
+        op(geocoder, "resolveEndpoints", "RoutePlanner.java"),
+        op(smoothing, "smoothGeometry", "RoutePlanner.java"),
+        op(apis.ON_DRAW, "drawRoute", "MapView.java"),
+    )
+    load_map = action(
+        "load_map_tiles", "onScroll",
+        op(svg, "renderIcons", "TileLoader.java"),
+        op(apis.ON_DRAW, "drawTiles", "MapView.java"),
+        op(apis.INVALIDATE, "invalidateMap", "MapView.java"),
+    )
+    itinerary = action(
+        "open_itinerary", "onItemClick",
+        op(replace(apis.DB_QUERY, mean_ms=300.0), "loadItinerary",
+           "ItineraryActivity.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showSteps", "ItineraryActivity.java"),
+    )
+    # Map redraw: pure UI but main-thread CPU heavy (high utilization).
+    heavy_map_ui = replace(
+        apis.ON_DRAW, mean_ms=140.0, cpu_share=0.6, render_share=0.55,
+        sigma=0.35,
+    )
+    pan_map = ui_action("pan_map", heavy_map_ui, apis.INVALIDATE,
+                        apis.REQUEST_LAYOUT, caller="panMap")
+    zoom_map = ui_action("zoom_map", heavy_map_ui, apis.ON_MEASURE,
+                         caller="zoomMap")
+    app = AppSpec(
+        name="CycleStreets", package="net.cyclestreets",
+        category="Travel & Local", downloads=50_000, commit="2d8d550",
+        actions=(plan_route, load_map, itinerary, pan_map, zoom_map),
+    )
+    return finish(app, issue_id=117, confirmed=False)
+
+
+def _k9_mail():
+    """Email client; 2 bugs, both unknown to offline tools.
+
+    ``HtmlCleaner.clean`` (issue #1007) parses HTML when an email is
+    opened — 1.3 s hangs on heavy pages (the paper's Figure 6 example).
+    A self-developed thread-index builder hangs message search.
+    """
+    clean = replace(
+        apis.HTML_CLEAN, manifest_prob=0.55, fast_ms=20.0, pages_fast=60,
+        lab_manifest_scale=0.0,
+    )
+    index_loop = apis.heavy_loop(
+        "buildThreadIndex", "com.fsck.k9.ThreadIndexer",
+        mean_ms=220.0, cpu_share=0.95, pages=1200, manifest_prob=0.7,
+        lab_manifest_scale=0.1,
+    )
+    open_email = multi_action(
+        "open_email", "onItemClick",
+        event("load_message",
+              op(clean, "sanitizeHtml", "HtmlSanitizer.java"),
+              op(replace(apis.WEBVIEW_LOAD, mean_ms=45.0), "displayHtml",
+                 "MessageView.java")),
+        event("update_header",
+              op(replace(apis.SET_TEXT, mean_ms=25.0), "showSubject",
+                 "MessageHeader.java"),
+              op(replace(apis.SET_IMAGE, mean_ms=35.0), "showContactPicture",
+                 "MessageHeader.java")),
+    )
+    search = action(
+        "search_messages", "onQueryTextSubmit",
+        op(index_loop, "indexThreads", "ThreadIndexer.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showResults", "SearchResults.java"),
+    )
+    # The paper's Figure 7 UI actions: Folders hangs but is filtered by
+    # S-Checker (clear UI symptoms); Inbox hangs with bug-like symptoms
+    # once (false positive) and is cleared by Diagnoser's stack traces.
+    folders = ui_action(
+        "folders", apis.INFLATE, apis.ADD_VIEW, apis.NOTIFY_DATA_SET_CHANGED,
+        caller="showFolders",
+    )
+    inbox = ui_action(
+        "inbox", replace(apis.TEXT_LAYOUT, mean_ms=190.0),
+        apis.NOTIFY_DATA_SET_CHANGED,
+        caller="showMessageList",
+    )
+    compose = ui_action("compose", apis.INFLATE, apis.SET_TEXT)
+    app = AppSpec(
+        name="K9-mail", package="com.fsck.k9", category="Communication",
+        downloads=5_000_000, commit="ac131a2",
+        actions=(open_email, search, folders, inbox, compose),
+    )
+    return finish(app, issue_id=1007, confirmed=True)
+
+
+def _omni_notes():
+    """Note-taking app; 3 unknown bugs whose blocking calls wait in one
+    long stretch (few voluntary switches) inside UI-heavy actions, so
+    only the page-fault condition catches them (paper Table 6)."""
+    markdown = replace(
+        apis.MARKDOWN_RENDER, mean_ms=240.0, cpu_share=0.22,
+        wait_chunk_ms=180.0, pages=3200, lab_manifest_scale=0.05,
+    )
+    attachment = replace(
+        apis.ZIP_ENTRY_READ, mean_ms=260.0, cpu_share=0.2,
+        wait_chunk_ms=200.0, pages=3400,
+    )
+    snapshot = replace(
+        apis.FILE_READ, known_blocking=False, name="readFully",
+        clazz="it.feio.android.omninotes.BackupHelper", mean_ms=230.0,
+        cpu_share=0.2, wait_chunk_ms=160.0, pages=3000, library=None,
+    )
+    heavy_ui = (apis.ADD_VIEW, apis.ON_DRAW, apis.NOTIFY_DATA_SET_CHANGED,
+                apis.SMOOTH_SCROLL)
+    open_note = action(
+        "open_note", "onItemClick",
+        op(markdown, "renderPreview", "NoteViewer.java"),
+        *[op(api, "buildNoteUi") for api in heavy_ui],
+    )
+    open_attachment = action(
+        "open_attachment", "onClick",
+        op(attachment, "extractAttachment", "AttachmentHandler.java"),
+        *[op(api, "showAttachment") for api in heavy_ui],
+    )
+    restore_note = action(
+        "restore_note", "onClick",
+        op(snapshot, "readBackup", "BackupHelper.java"),
+        *[op(api, "rebuildNoteList") for api in heavy_ui],
+    )
+    note_list = ui_action("note_list", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.SMOOTH_SCROLL)
+    app = AppSpec(
+        name="Omni-Notes", package="it.feio.android.omninotes",
+        category="Productivity", downloads=50_000, commit="8ffde3a",
+        actions=(open_note, open_attachment, restore_note, note_list),
+    )
+    return finish(app, issue_id=253, confirmed=True)
+
+
+def _owntracks():
+    """Location diary; 1 bug: a known blocking query nested inside an
+    ORM library facade (one of the paper's three nested cases)."""
+    load_track = action(
+        "load_track", "onClick",
+        op(apis.ORMLITE_QUERY, "loadWaypoints", "MapActivity.java"),
+        op(apis.ON_DRAW, "drawTrack", "MapActivity.java"),
+    )
+    map_view = ui_action("map_view", apis.ON_DRAW, apis.INVALIDATE)
+    app = AppSpec(
+        name="OwnTracks", package="org.owntracks.android",
+        category="Travel & Local", downloads=1_000, commit="1514d4a",
+        actions=(load_track, map_view),
+    )
+    return finish(app, issue_id=303, confirmed=False)
+
+
+def _qksms():
+    """SMS app; 3 unknown compute-style bugs (CPU-bound, small memory
+    footprints): caught by context-switches and task-clock but not by
+    page faults (paper Table 6)."""
+    emoji = apis.heavy_loop(
+        "parseEmoji", "com.moez.QKSMS.EmojiParser",
+        mean_ms=260.0, cpu_share=0.95, pages=160,
+    )
+    digest = replace(
+        apis.CRYPTO_DIGEST, mean_ms=300.0, cpu_share=0.95, pages=220,
+        manifest_prob=0.85,
+    )
+    sort_loop = apis.heavy_loop(
+        "sortConversations", "com.moez.QKSMS.ConversationSorter",
+        mean_ms=240.0, cpu_share=0.95, pages=180,
+    )
+    open_conversation = action(
+        "open_conversation", "onItemClick",
+        op(emoji, "renderBubbles", "ConversationView.java"),
+        op(apis.SET_TEXT, "showMessages", "ConversationView.java"),
+    )
+    verify_backup = action(
+        "verify_backup", "onClick",
+        op(digest, "checksumBackup", "BackupVerifier.java"),
+        op(apis.SET_TEXT, "showStatus", "BackupVerifier.java"),
+    )
+    refresh_inbox = action(
+        "refresh_inbox", "onRefresh",
+        op(sort_loop, "resortThreads", "ConversationSorter.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "redrawList", "InboxFragment.java"),
+    )
+    settings = ui_action("settings", apis.INFLATE, apis.SEEKBAR_INIT)
+    app = AppSpec(
+        name="QKSMS", package="com.moez.QKSMS", category="Communication",
+        downloads=100_000, commit="2a80947",
+        actions=(open_conversation, verify_backup, refresh_inbox, settings),
+    )
+    return finish(app, issue_id=382, confirmed=True)
+
+
+def _stickercamera():
+    """Photography app; 3 bugs, all well-known camera/bitmap/file APIs
+    (offline-detectable; the developer never replied)."""
+    take_photo = action(
+        "take_photo", "onClick",
+        op(replace(apis.CAMERA_OPEN, mean_ms=260.0), "openCamera",
+           "CameraActivity.java"),
+        op(apis.SET_IMAGE, "showPreview", "CameraActivity.java"),
+    )
+    apply_sticker = action(
+        "apply_sticker", "onItemClick",
+        op(replace(apis.BITMAP_DECODE_FILE, mean_ms=480.0), "loadSticker",
+           "StickerActivity.java"),
+        op(apis.ON_DRAW, "composeImage", "StickerActivity.java"),
+    )
+    save_photo = action(
+        "save_photo", "onClick",
+        # Small JPEGs: a bug whose memory footprint stays under the
+        # page-fault threshold (tests the filter's multi-event need).
+        op(replace(apis.FILE_WRITE, mean_ms=260.0, pages=350), "writeJpeg",
+           "SaveHandler.java"),
+        op(apis.SET_TEXT, "confirmSaved", "SaveHandler.java"),
+    )
+    gallery = ui_action("gallery", apis.NOTIFY_DATA_SET_CHANGED,
+                        apis.SMOOTH_SCROLL)
+    app = AppSpec(
+        name="StickerCamera", package="com.github.skykai.stickercamera",
+        category="Photography", downloads=5_000, commit="6fc41b1",
+        actions=(take_photo, apply_sticker, save_photo, gallery),
+    )
+    return finish(app, issue_id=29, confirmed=False)
+
+
+def _antennapod():
+    """Podcast player; 3 bugs: known MediaPlayer.prepare plus two
+    unknown parsers (OPML import, track-format probing) with moderate
+    footprints — caught by context-switches/task-clock, not by page
+    faults (paper Table 6)."""
+    opml = replace(apis.OPML_IMPORT, mean_ms=520.0, cpu_share=0.75, pages=460)
+    probe = replace(apis.AUDIO_DECODE, mean_ms=380.0, cpu_share=0.6, pages=420)
+    play_episode = action(
+        "play_episode", "onClick",
+        op(replace(apis.MEDIA_PREPARE, mean_ms=420.0), "preparePlayer",
+           "PlaybackService.java"),
+        op(apis.SET_IMAGE, "showCover", "PlayerFragment.java"),
+    )
+    import_opml = action(
+        "import_opml", "onClick",
+        op(opml, "readOpml", "OpmlImportActivity.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showFeeds", "OpmlImportActivity.java"),
+    )
+    episode_info = action(
+        "episode_info", "onItemClick",
+        op(probe, "probeDuration", "EpisodeInfoFragment.java"),
+        op(apis.SET_TEXT, "showDuration", "EpisodeInfoFragment.java"),
+        op(apis.INFLATE, "buildInfoPane", "EpisodeInfoFragment.java"),
+    )
+    feed_list = ui_action("feed_list", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.ADD_VIEW)
+    app = AppSpec(
+        name="AntennaPod", package="de.danoeh.antennapod",
+        category="Media & Video", downloads=100_000, commit="c3808e2",
+        actions=(play_episode, import_opml, episode_info, feed_list),
+    )
+    return finish(app, issue_id=1921, confirmed=True)
+
+
+def _merchant():
+    """Point-of-sale app; 1 unknown bug: a receipt-printer connect that
+    blocks in short I/O chunks with almost no CPU — context-switches is
+    the only counter that sees it (paper Table 6)."""
+    printer = replace(
+        apis.BLUETOOTH_ACCEPT, name="connect", clazz="com.epson.eposprint.Print",
+        known_blocking=False, mean_ms=320.0, cpu_share=0.12, pages=260,
+        library="com.epson.eposprint",
+    )
+    print_receipt = action(
+        "print_receipt", "onClick",
+        op(printer, "connectPrinter", "ReceiptPrinter.java"),
+        op(apis.SET_TEXT, "showPrinted", "ReceiptPrinter.java"),
+    )
+    checkout = ui_action("checkout", apis.INFLATE, apis.SET_TEXT)
+    app = AppSpec(
+        name="Merchant", package="com.loyalty.merchant", category="Business",
+        downloads=10_000, commit="c87d69a",
+        actions=(print_receipt, checkout),
+    )
+    return finish(app, issue_id=17, confirmed=True)
+
+
+def _uoitdc():
+    """Booking app; 2 unknown heavy parsers (HTML timetable scraping,
+    iCal parsing) — hot on all three filter counters."""
+    jsoup = replace(apis.JSOUP_PARSE, mean_ms=640.0)
+    ical = apis.blocking_api(
+        "parseICal", "com.uoitdc.booking.ICalParser", mean_ms=520.0,
+        cpu_share=0.85, pages=1400,
+    )
+    load_timetable = action(
+        "load_timetable", "onClick",
+        op(jsoup, "scrapeTimetable", "TimetableLoader.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showSlots", "TimetableLoader.java"),
+    )
+    sync_calendar = action(
+        "sync_calendar", "onClick",
+        op(ical, "mergeCalendar", "CalendarSync.java"),
+        op(apis.SET_TEXT, "showSynced", "CalendarSync.java"),
+    )
+    book_slot = ui_action("book_slot", apis.INFLATE, apis.SET_TEXT)
+    app = AppSpec(
+        name="UOITDC Booking", package="com.uoitdc.booking", category="Tools",
+        downloads=100, commit="5d18c26",
+        actions=(load_timetable, sync_calendar, book_slot),
+    )
+    return finish(app, issue_id=3, confirmed=True)
+
+
+def _sagemath():
+    """Math client; 3 bugs (issue #84): two unknown gson ``toJson``
+    serializations (~1 s on large objects) and one known database
+    insert hidden inside the cupboard library."""
+    to_json = replace(apis.GSON_TO_JSON, manifest_prob=0.75, fast_ms=30.0,
+                      lab_manifest_scale=0.05)
+    save_worksheet = action(
+        "save_worksheet", "onClick",
+        op(to_json, "serializeWorksheet", "WorksheetStore.java"),
+        op(apis.SET_TEXT, "confirmSave", "WorksheetStore.java"),
+    )
+    share_result = action(
+        "share_result", "onClick",
+        op(to_json, "serializeResult", "ShareHelper.java"),
+        op(apis.INFLATE, "buildShareSheet", "ShareHelper.java"),
+    )
+    cache_cell = action(
+        "cache_cell", "onCellEvaluated",
+        op(apis.CUPBOARD_GET, "persistCell", "CellCache.java"),
+        op(apis.INVALIDATE, "redrawCell", "CellCache.java"),
+    )
+    open_worksheet = ui_action("open_worksheet", apis.INFLATE, apis.ADD_VIEW,
+                               apis.ON_MEASURE)
+    app = AppSpec(
+        name="Sage Math", package="org.sagemath.droid", category="Education",
+        downloads=10_000, commit="3198106",
+        actions=(save_worksheet, share_result, cache_cell, open_worksheet),
+    )
+    return finish(app, issue_id=84, confirmed=True)
+
+
+def _radiodroid():
+    """Internet radio; 2 bugs: known MediaPlayer.prepare plus an
+    unknown icon-pack loader that blocks once on a large mmap read —
+    only page faults flag it (paper Table 6)."""
+    icons = apis.blocking_api(
+        "loadStationIcons", "net.programmierecke.radiodroid.IconCache",
+        mean_ms=230.0, cpu_share=0.18, wait_chunk_ms=170.0, pages=3000,
+    )
+    play_station = action(
+        "play_station", "onItemClick",
+        op(replace(apis.MEDIA_PREPARE, mean_ms=360.0), "startStream",
+           "PlayerService.java"),
+        op(apis.SET_IMAGE, "showStationArt", "PlayerActivity.java"),
+    )
+    browse_stations = action(
+        "browse_stations", "onScroll",
+        op(icons, "warmIconCache", "StationListAdapter.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "refreshStations",
+           "StationListAdapter.java"),
+        op(apis.SMOOTH_SCROLL, "scrollStations", "StationListAdapter.java"),
+        op(apis.ON_DRAW, "drawStationRows", "StationListAdapter.java"),
+    )
+    favorites = ui_action("favorites", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.ADD_VIEW)
+    app = AppSpec(
+        name="RadioDroid", package="net.programmierecke.radiodroid",
+        category="Music & Audio", downloads=10, commit="0108e8b",
+        actions=(play_station, browse_stations, favorites),
+    )
+    return finish(app, issue_id=29, confirmed=False)
+
+
+def _gitosc():
+    """Git client; 1 unknown bug: packfile object reads that block in
+    small chunks with little CPU — context-switches only."""
+    jgit = apis.blocking_api(
+        "readObject", "org.eclipse.jgit.storage.file.ObjectReader",
+        mean_ms=280.0, cpu_share=0.15, pages=320, library="org.eclipse.jgit",
+    )
+    open_commit = action(
+        "open_commit", "onItemClick",
+        op(jgit, "loadCommitDiff", "CommitDetailActivity.java"),
+        op(apis.SET_TEXT, "showDiff", "CommitDetailActivity.java"),
+    )
+    repo_list = ui_action("repo_list", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.SMOOTH_SCROLL)
+    app = AppSpec(
+        name="Git@OSC", package="net.oschina.gitapp", category="Tools",
+        downloads=10_000, commit="bb80e0a95",
+        actions=(open_commit, repo_list),
+    )
+    return finish(app, issue_id=89, confirmed=False)
+
+
+def _lens_launcher():
+    """Launcher; 1 bug: a known bitmap decode hidden behind an image
+    loader facade (third nested-library case)."""
+    load_icons = action(
+        "load_app_icons", "onResume",
+        op(apis.PICASSO_LOAD_SYNC, "loadIconGrid", "LauncherActivity.java"),
+        op(apis.ON_DRAW, "drawGrid", "LensView.java"),
+    )
+    lens_zoom = ui_action(
+        "lens_zoom",
+        replace(apis.ON_DRAW, mean_ms=90.0, render_share=0.75),
+        apis.INVALIDATE, caller="zoomLens",
+    )
+    app = AppSpec(
+        name="Lens-Launcher", package="nickrout.lenslauncher",
+        category="Personalization", downloads=100_000, commit="e41e6c6",
+        actions=(load_icons, lens_zoom),
+    )
+    return finish(app, issue_id=15, confirmed=False)
+
+
+def _skytube():
+    """YouTube client; 1 unknown bug: HTML page parsing for video
+    metadata (heavy on all three filter counters)."""
+    parse = replace(apis.JSOUP_PARSE, mean_ms=720.0, manifest_prob=0.85,
+                    lab_manifest_scale=0.35)
+    open_video = action(
+        "open_video", "onItemClick",
+        op(parse, "parseVideoPage", "VideoDetailFragment.java"),
+        op(replace(apis.SET_TEXT, mean_ms=25.0), "showDescription",
+           "VideoDetailFragment.java"),
+        op(replace(apis.SET_IMAGE, mean_ms=35.0), "showThumbnail",
+           "VideoDetailFragment.java"),
+    )
+    trending = ui_action("trending", apis.NOTIFY_DATA_SET_CHANGED,
+                         apis.SMOOTH_SCROLL)
+    app = AppSpec(
+        name="SkyTube", package="free.rm.skytube", category="Video Players",
+        downloads=5_000, commit="3da671c",
+        actions=(open_video, trending),
+    )
+    return finish(app, issue_id=88, confirmed=True)
+
+
+#: The 16 bug-bearing apps of the paper's Table 5 (in table order).
+TABLE5_APPS = (
+    _andstatus(),
+    _dashclock(),
+    _cyclestreets(),
+    _k9_mail(),
+    _omni_notes(),
+    _owntracks(),
+    _qksms(),
+    _stickercamera(),
+    _antennapod(),
+    _merchant(),
+    _uoitdc(),
+    _sagemath(),
+    _radiodroid(),
+    _gitosc(),
+    _lens_launcher(),
+    _skytube(),
+)
+
+# Motivation (Table 1) apps live in their own module to keep this one
+# readable; import at the bottom to avoid a cycle with the helpers.
+from repro.apps.motivation import MOTIVATION_APPS  # noqa: E402
+
+#: All hand-modelled apps, keyed by name.
+NAMED_APPS = {app.name: app for app in TABLE5_APPS + MOTIVATION_APPS}
+
+
+def get_app(name):
+    """Look up a hand-modelled app by its Table 1 / Table 5 name."""
+    try:
+        return NAMED_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown catalog app {name!r}; available: {sorted(NAMED_APPS)}"
+        ) from None

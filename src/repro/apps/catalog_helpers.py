@@ -1,0 +1,77 @@
+"""Builder helpers shared by the catalog and motivation app modules."""
+
+from dataclasses import replace
+
+from repro.apps.api import hash_line
+from repro.apps.app import ActionSpec, BugReport, InputEventSpec, Operation
+
+
+def op(api, caller_function, caller_file=None, on_worker=False):
+    """Build an Operation with a synthesized (stable) source line."""
+    if caller_file is None:
+        caller_file = caller_function[0].upper() + caller_function[1:] + ".java"
+    line = 30 + (
+        hash_line(f"{caller_file}:{caller_function}:{api.qualified_name}") % 700
+    )
+    return Operation(
+        api=api,
+        caller_function=caller_function,
+        caller_file=caller_file,
+        caller_line=line,
+        on_worker=on_worker,
+    )
+
+
+def event(name, *ops):
+    """Build one input event."""
+    return InputEventSpec(name=name, operations=tuple(ops))
+
+
+def action(name, handler, *ops):
+    """Single-input-event action."""
+    return ActionSpec(
+        name=name, handler=handler, events=(event(f"{name}_event", *ops),)
+    )
+
+
+def multi_action(name, handler, *events_):
+    """Multi-input-event action (the action's response time is the max
+    of its input events' response times, per the paper §2.2)."""
+    return ActionSpec(name=name, handler=handler, events=tuple(events_))
+
+
+def ui_action(name, *ui_apis, handler="onClick", caller="updateUi"):
+    """An action made purely of UI APIs (a potential false positive)."""
+    ops = [op(api, caller) for api in ui_apis]
+    return action(name, handler, *ops)
+
+
+def bug_reports_for(app, issue_id, confirmed):
+    """Derive BugReport ground truth for every hang-bug site of *app*.
+
+    ``known_offline`` follows the paper's Table 5 accounting: a bug is
+    detectable offline iff its leaf API is in the known-blocking
+    database (PerfChecker analyzes packaged bytecode, so library
+    nesting does not hide a *known* API — see §4.2's "3 out of 11"
+    nested cases, which still count as offline-detectable).
+    """
+    reports = []
+    for bug_op in app.hang_bug_operations():
+        reports.append(
+            BugReport(
+                site_id=bug_op.site_id,
+                issue_id=issue_id,
+                known_offline=bug_op.api.known_blocking,
+                confirmed_by_developer=confirmed,
+            )
+        )
+    return tuple(reports)
+
+
+def finish(app, issue_id, confirmed):
+    """Attach derived bug reports to a built app."""
+    return replace(
+        app,
+        issue_id=issue_id,
+        bug_reports=bug_reports_for(app, issue_id, confirmed),
+    )

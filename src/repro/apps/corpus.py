@@ -1,0 +1,75 @@
+"""The 114-app test fleet.
+
+The paper tested ~114 apps; only the 16 of Table 5 showed soft hang
+problems.  The corpus therefore combines the hand-modelled Table 5
+apps with generated *clean* apps (UI and light work only, across the
+store categories the paper lists) to reach the full fleet size.
+"""
+
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog import TABLE5_APPS
+from repro.apps.wellknown import WELLKNOWN_CLEAN_APPS
+from repro.apps.catalog_helpers import op, ui_action
+from repro.base.rng import stream
+
+#: Store categories sampled for generated apps (paper's Table 5 mix).
+CATEGORIES = (
+    "Social", "Personalization", "Travel & Local", "Communication",
+    "Productivity", "Photography", "Media & Video", "Business", "Tools",
+    "Education", "Music & Audio", "Video Players", "Books", "Weather",
+    "Finance", "Health & Fitness",
+)
+
+#: UI/light building blocks for generated clean apps.
+_UI_POOL = apis.ALL_UI_APIS
+_LIGHT_POOL = apis.LIGHT_APIS
+
+#: Paper fleet size.
+FLEET_SIZE = 114
+
+
+def generate_clean_app(index, seed=0):
+    """Generate one bug-free app (UI and light operations only)."""
+    rng = stream(seed, "corpus", index)
+    name = f"GenApp-{index:03d}"
+    package = f"com.generated.app{index:03d}"
+    category = CATEGORIES[int(rng.integers(len(CATEGORIES)))]
+    downloads = int(10 ** rng.uniform(2, 6))
+    commit = "".join(
+        "0123456789abcdef"[int(d)] for d in rng.integers(0, 16, size=7)
+    )
+    action_count = int(rng.integers(3, 7))
+    actions = []
+    for action_index in range(action_count):
+        ui_count = int(rng.integers(1, 4))
+        chosen = [
+            _UI_POOL[int(rng.integers(len(_UI_POOL)))] for _ in range(ui_count)
+        ]
+        chosen += [
+            _LIGHT_POOL[int(rng.integers(len(_LIGHT_POOL)))]
+            for _ in range(int(rng.integers(1, 3)))
+        ]
+        actions.append(
+            ui_action(f"action_{action_index}", *chosen,
+                      caller=f"handleAction{action_index}")
+        )
+    return AppSpec(
+        name=name, package=package, category=category,
+        downloads=downloads, commit=commit, actions=tuple(actions),
+    )
+
+
+def build_corpus(seed=0, size=FLEET_SIZE):
+    """The full test fleet: Table 5 apps, hand-modelled clean apps,
+    and generated clean apps up to *size*."""
+    base = list(TABLE5_APPS) + list(WELLKNOWN_CLEAN_APPS)
+    if size < len(base):
+        raise ValueError(
+            f"corpus size {size} smaller than the {len(base)} "
+            "hand-modelled apps"
+        )
+    fleet = list(base)
+    for index in range(size - len(base)):
+        fleet.append(generate_clean_app(index, seed=seed))
+    return fleet

@@ -1,0 +1,234 @@
+"""Motivation-study apps (paper Table 1).
+
+Eight apps with *well-known* soft hang bugs, used by the paper's
+Section 2.2 to show that a pure timeout detector needs the 100 ms
+threshold to catch them (19 true positives) but then drowns in UI
+false positives (33).  Bug durations are placed to reproduce Table 2's
+timeout sweep: one ~1.4 s bug (SeaDroid) survives a 1 s timeout, one
+~650 ms bug (FrostWire) survives 500 ms, everything else lives in the
+100–500 ms band.
+
+``A Better Camera``'s resume action reproduces Figure 1: six
+operations totalling ~423 ms, dominated by ``Camera.open`` (~263 ms),
+which moving to a worker thread cuts to ~160 ms.
+"""
+
+from dataclasses import replace
+
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog_helpers import action, op, ui_action
+
+#: Heavy UI combination that occasionally exceeds 500 ms (the source of
+#: Table 2's false positives at the 500 ms timeout).
+_HEAVY_UI = (apis.WEBVIEW_LOAD, apis.INFLATE,
+             apis.NOTIFY_DATA_SET_CHANGED)
+
+#: Moderate UI combination hanging in the 100–400 ms band.
+_MODERATE_UI = (apis.INFLATE, apis.ON_MEASURE, apis.SET_TEXT)
+
+#: Light UI combination around the 100 ms boundary.
+_LIGHT_UI = (apis.ON_DRAW, apis.ON_LAYOUT, apis.SET_TEXT)
+
+
+def _ui_actions(prefix, heavy, moderate, light):
+    """Build counts of heavy/moderate/light UI-only actions."""
+    actions = []
+    for index in range(heavy):
+        actions.append(ui_action(f"{prefix}_heavy_ui_{index}", *_HEAVY_UI))
+    for index in range(moderate):
+        actions.append(ui_action(f"{prefix}_ui_{index}", *_MODERATE_UI))
+    for index in range(light):
+        actions.append(ui_action(f"{prefix}_light_ui_{index}", *_LIGHT_UI))
+    return actions
+
+
+def _droidwall():
+    apply_rules = action(
+        "apply_rules", "onClick",
+        op(replace(apis.FILE_WRITE, mean_ms=220.0, sigma=0.12), "writeIptablesScript",
+           "Api.java"),
+        op(apis.SET_TEXT, "showApplied", "MainActivity.java"),
+    )
+    return AppSpec(
+        name="DroidWall", package="com.googlecode.droidwall",
+        category="Tools", downloads=100_000, commit="3e2b654",
+        actions=tuple([apply_rules] + _ui_actions("droidwall", 1, 2, 1)),
+    )
+
+
+def _frostwire():
+    load_library = action(
+        "load_library", "onResume",
+        op(replace(apis.DB_QUERY, mean_ms=650.0, sigma=0.15), "loadFinished",
+           "LibraryFragment.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showDownloads",
+           "LibraryFragment.java"),
+    )
+    return AppSpec(
+        name="FrostWire", package="com.frostwire.android",
+        category="Media & Video", downloads=1_000_000, commit="55427ef",
+        actions=tuple([load_library] + _ui_actions("frostwire", 0, 3, 2)),
+    )
+
+
+def _ushaidi():
+    sync_reports = action(
+        "sync_reports", "onClick",
+        op(replace(apis.XML_PARSE, mean_ms=280.0, sigma=0.12), "parseReports",
+           "ReportsSync.java"),
+        op(apis.SET_TEXT, "refreshReports", "ReportsSync.java"),
+    )
+    save_report = action(
+        "save_report", "onClick",
+        op(replace(apis.DB_INSERT, mean_ms=240.0, sigma=0.12), "persistReport",
+           "ReportEditor.java"),
+        op(apis.SET_TEXT, "confirmSave", "ReportEditor.java"),
+    )
+    return AppSpec(
+        name="Ushaidi", package="com.ushahidi.android",
+        category="Communication", downloads=10_000, commit="59fbb533d0",
+        actions=tuple([sync_reports, save_report]
+                      + _ui_actions("ushaidi", 1, 2, 1)),
+    )
+
+
+def _seadroid():
+    open_library = action(
+        "open_library", "onItemClick",
+        op(replace(apis.FILE_READ, mean_ms=1400.0, sigma=0.15),
+           "loadCachedListing", "BrowserActivity.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showEntries",
+           "BrowserActivity.java"),
+    )
+    return AppSpec(
+        name="SeaDroid", package="com.seafile.seadroid2",
+        category="Productivity", downloads=50_000, commit="5a7531d",
+        actions=tuple([open_library] + _ui_actions("seadroid", 2, 3, 1)),
+    )
+
+
+def _websms():
+    save_connector = action(
+        "save_connector", "onClick",
+        op(replace(apis.PREFS_COMMIT, mean_ms=190.0, sigma=0.12), "persistConnector",
+           "SettingsActivity.java"),
+        op(apis.SET_TEXT, "confirmConnector", "SettingsActivity.java"),
+    )
+    return AppSpec(
+        name="WebSMS", package="de.ub0r.android.websms",
+        category="Communication", downloads=500_000, commit="1f596fbd29",
+        actions=tuple([save_connector] + _ui_actions("websms", 0, 2, 1)),
+    )
+
+
+def _cgeo():
+    open_cache = action(
+        "open_cache", "onItemClick",
+        op(replace(apis.DB_QUERY, mean_ms=280.0, sigma=0.12), "loadCacheDetails",
+           "CacheDetailActivity.java"),
+        op(apis.SET_TEXT, "showCache", "CacheDetailActivity.java"),
+    )
+    import_gpx = action(
+        "import_gpx", "onClick",
+        op(replace(apis.XML_PARSE, mean_ms=330.0, sigma=0.12), "parseGpx",
+           "GpxImporter.java"),
+        op(apis.SET_TEXT, "showImported", "GpxImporter.java"),
+    )
+    show_map_icons = action(
+        "show_map_icons", "onScroll",
+        op(replace(apis.BITMAP_DECODE_FILE, mean_ms=300.0, sigma=0.12), "decodeIcons",
+           "MapMarkers.java"),
+        op(apis.ON_DRAW, "drawMarkers", "MapMarkers.java"),
+    )
+    read_logfile = action(
+        "read_logfile", "onClick",
+        op(replace(apis.FILE_READ, mean_ms=240.0, sigma=0.12), "loadFieldNotes",
+           "FieldNotes.java"),
+        op(apis.SET_TEXT, "showNotes", "FieldNotes.java"),
+    )
+    open_db = action(
+        "open_database", "onResume",
+        op(replace(apis.DB_OPEN, mean_ms=260.0, sigma=0.12), "ensureDatabase",
+           "DataStore.java"),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "refreshCaches", "DataStore.java"),
+    )
+    return AppSpec(
+        name="cgeo", package="cgeo.geocaching", category="Travel & Local",
+        downloads=1_000_000, commit="6e4a8d4ba8",
+        actions=tuple([open_cache, import_gpx, show_map_icons, read_logfile,
+                       open_db] + _ui_actions("cgeo", 2, 2, 1)),
+    )
+
+
+def _fbreaderj():
+    bugs = [
+        ("open_book", replace(apis.FILE_READ, mean_ms=330.0, sigma=0.12), "openBookFile",
+         "BookReader.java"),
+        ("render_cover", replace(apis.BITMAP_DECODE_STREAM, mean_ms=300.0, sigma=0.12),
+         "decodeCover", "CoverManager.java"),
+        ("search_library", replace(apis.DB_QUERY, mean_ms=260.0, sigma=0.12),
+         "searchBooks", "LibraryService.java"),
+        ("add_bookmark", replace(apis.DB_INSERT, mean_ms=220.0, sigma=0.12),
+         "saveBookmark", "BookmarkService.java"),
+        ("import_catalog", replace(apis.XML_PARSE, mean_ms=340.0, sigma=0.12),
+         "parseCatalog", "CatalogImporter.java"),
+        ("save_position", replace(apis.PREFS_COMMIT, mean_ms=170.0, sigma=0.12),
+         "savePosition", "PositionStore.java"),
+    ]
+    bug_actions = [
+        action(name, "onClick", op(api, caller, file),
+               op(apis.SET_TEXT, caller + "Status", file))
+        for name, api, caller, file in bugs
+    ]
+    return AppSpec(
+        name="FBReaderJ", package="org.geometerplus.fbreader",
+        category="Books", downloads=10_000_000, commit="0f02d4e923",
+        actions=tuple(bug_actions + _ui_actions("fbreader", 2, 1, 1)),
+    )
+
+
+def _a_better_camera():
+    """Figure 1's app: the buggy Resume sequence totals ~423 ms with
+    ``Camera.open`` the dominant ~263 ms; ``fixed()`` moves it to a
+    worker for a ~160 ms response time."""
+    resume = action(
+        "resume", "onResume",
+        op(replace(apis.CAMERA_SET_PARAMETERS, mean_ms=75.0, sigma=0.1),
+           "configureCamera", "MainActivity.java"),
+        op(replace(apis.CAMERA_OPEN, mean_ms=263.0, sigma=0.1), "openCamera",
+           "MainActivity.java"),
+        op(replace(apis.SET_TEXT, mean_ms=30.0, sigma=0.1), "updateHud",
+           "MainActivity.java"),
+        op(replace(apis.INFLATE, mean_ms=35.0, sigma=0.1), "inflateControls",
+           "MainActivity.java"),
+        op(replace(apis.SEEKBAR_INIT, mean_ms=10.0, sigma=0.1), "initZoomBar",
+           "MainActivity.java"),
+        op(replace(apis.ENABLE_ORIENTATION, mean_ms=10.0, sigma=0.1),
+           "enableRotation", "MainActivity.java"),
+    )
+    save_photo = action(
+        "save_photo", "onPictureTaken",
+        op(replace(apis.FILE_WRITE, mean_ms=170.0, sigma=0.12), "writeJpeg",
+           "SavingService.java"),
+        op(apis.SET_IMAGE, "updateThumbnail", "MainActivity.java"),
+    )
+    return AppSpec(
+        name="A Better Camera", package="com.almalence.opencam",
+        category="Photography", downloads=1_000_000, commit="9f8e3b0",
+        actions=tuple([resume, save_photo]
+                      + _ui_actions("camera", 0, 3, 1)),
+    )
+
+
+#: The 8 motivation apps of the paper's Table 1 (in table order).
+MOTIVATION_APPS = (
+    _droidwall(),
+    _frostwire(),
+    _ushaidi(),
+    _websms(),
+    _cgeo(),
+    _seadroid(),
+    _fbreaderj(),
+    _a_better_camera(),
+)

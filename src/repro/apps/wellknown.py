@@ -1,0 +1,129 @@
+"""Hand-modelled clean apps.
+
+The paper's 114-app fleet is dominated by apps where Hang Doctor found
+*nothing* — well-tested, mature apps whose heavy work already lives on
+worker threads.  A few such apps are hand-modelled here (the rest of
+the clean fleet is generated): their actions mix UI work with blocking
+APIs that are **already on worker threads**, which exercises the
+``on_worker`` path of the engine and gives offline scanners and Hang
+Doctor realistic true-negative material.
+"""
+
+from dataclasses import replace
+
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog_helpers import action, op, ui_action
+
+
+def _messenger():
+    """A Signal-style messenger: database and crypto on workers."""
+    open_chat = action(
+        "open_chat", "onItemClick",
+        op(apis.DB_QUERY, "loadMessages", "ConversationLoader.java",
+           on_worker=True),
+        op(apis.SET_TEXT, "renderBubbles", "ConversationView.java"),
+        op(apis.SMOOTH_SCROLL, "scrollToEnd", "ConversationView.java"),
+    )
+    send = action(
+        "send_message", "onClick",
+        op(replace(apis.CRYPTO_DIGEST, mean_ms=220.0), "sealMessage",
+           "MessageSender.java", on_worker=True),
+        op(replace(apis.SET_TEXT, mean_ms=20.0), "appendBubble",
+           "ConversationView.java"),
+    )
+    chat_list = ui_action("chat_list", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.SET_IMAGE)
+    return AppSpec(
+        name="Courier", package="org.courier.app",
+        category="Communication", downloads=10_000_000, commit="f3a91c2",
+        actions=(open_chat, send, chat_list),
+    )
+
+
+def _gallery():
+    """A gallery whose decodes are properly offloaded."""
+    open_album = action(
+        "open_album", "onItemClick",
+        op(apis.BITMAP_DECODE_FILE, "decodeThumbnails",
+           "ThumbnailLoader.java", on_worker=True),
+        op(apis.NOTIFY_DATA_SET_CHANGED, "showGrid", "AlbumView.java"),
+    )
+    view_photo = action(
+        "view_photo", "onItemClick",
+        op(apis.BITMAP_DECODE_STREAM, "decodeFull", "PhotoViewer.java",
+           on_worker=True),
+        op(replace(apis.SET_IMAGE, mean_ms=45.0), "showPhoto",
+           "PhotoViewer.java"),
+    )
+    zoom = ui_action("zoom", apis.ON_DRAW, apis.INVALIDATE)
+    return AppSpec(
+        name="Lightbox", package="com.lightbox.gallery",
+        category="Photography", downloads=5_000_000, commit="88ab90d",
+        actions=(open_album, view_photo, zoom),
+    )
+
+
+def _podcast_player():
+    """A podcast player that prepares media off the main thread."""
+    play = action(
+        "play", "onClick",
+        op(apis.MEDIA_PREPARE, "prepareStream", "PlayerService.java",
+           on_worker=True),
+        op(replace(apis.SET_IMAGE, mean_ms=40.0), "showArt",
+           "PlayerView.java"),
+    )
+    browse = ui_action("browse", apis.NOTIFY_DATA_SET_CHANGED,
+                       apis.SMOOTH_SCROLL)
+    return AppSpec(
+        name="Wavecast", package="fm.wavecast.player",
+        category="Media & Video", downloads=1_000_000, commit="41c07be",
+        actions=(play, browse),
+    )
+
+
+def _notes():
+    """A notes app syncing on workers."""
+    save = action(
+        "save_note", "onClick",
+        op(apis.DB_INSERT, "persistNote", "NoteStore.java",
+           on_worker=True),
+        op(replace(apis.SET_TEXT, mean_ms=15.0), "showSaved",
+           "EditorView.java"),
+    )
+    edit = ui_action("edit", apis.SET_TEXT, apis.REQUEST_LAYOUT)
+    note_list = ui_action("note_list", apis.NOTIFY_DATA_SET_CHANGED,
+                          apis.ADD_VIEW)
+    return AppSpec(
+        name="Margin", package="io.margin.notes",
+        category="Productivity", downloads=500_000, commit="9cd14ef",
+        actions=(save, edit, note_list),
+    )
+
+
+def _weather():
+    """A weather app: parsing off-thread, light UI refreshes."""
+    refresh = action(
+        "refresh", "onRefresh",
+        op(replace(apis.XML_PARSE, mean_ms=240.0), "parseForecast",
+           "ForecastParser.java", on_worker=True),
+        op(replace(apis.SET_TEXT, mean_ms=25.0), "updateTiles",
+           "ForecastView.java"),
+    )
+    forecast = ui_action("forecast", apis.ON_DRAW, apis.SET_TEXT)
+    return AppSpec(
+        name="Nimbus", package="app.nimbus.weather", category="Weather",
+        downloads=2_000_000, commit="c52d7a1",
+        actions=(refresh, forecast),
+    )
+
+
+#: Hand-modelled clean apps included in the fleet alongside the
+#: generated ones.
+WELLKNOWN_CLEAN_APPS = (
+    _messenger(),
+    _gallery(),
+    _podcast_player(),
+    _notes(),
+    _weather(),
+)

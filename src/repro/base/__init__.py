@@ -1,0 +1,20 @@
+"""Dependency-free primitives shared by the simulator and app model.
+
+This package sits at the bottom of the import graph: seeded RNG
+streams, stack-frame records, and the operation-kind enum.  Both
+:mod:`repro.sim` and :mod:`repro.apps` import from here, never from
+each other's internals, which keeps the package import-order safe.
+"""
+
+from repro.base.frames import Frame, StackTrace, occurrence_factor
+from repro.base.kinds import ApiKind
+from repro.base.rng import stream, substream_seed
+
+__all__ = [
+    "ApiKind",
+    "Frame",
+    "StackTrace",
+    "occurrence_factor",
+    "stream",
+    "substream_seed",
+]

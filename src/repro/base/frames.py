@@ -1,0 +1,60 @@
+"""Stack-frame and stack-trace records.
+
+A :class:`Frame` is one stack entry (class, method, file, line); a
+:class:`StackTrace` is a timestamped tuple of frames ordered from the
+outermost caller (event handler) to the leaf API.  The paper's
+Diagnoser attributes a soft hang to the operation with the highest
+*occurrence factor* — the fraction of collected traces containing it —
+computed by :func:`occurrence_factor`.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Frame:
+    """One stack-trace entry."""
+
+    clazz: str
+    method: str
+    file: str
+    line: int
+
+    @property
+    def qualified_name(self):
+        """Fully-qualified ``package.Class.method`` name."""
+        return f"{self.clazz}.{self.method}"
+
+    def __str__(self):
+        return f"{self.qualified_name}({self.file}:{self.line})"
+
+
+@dataclass(frozen=True)
+class StackTrace:
+    """A snapshot of a thread's call stack at one instant."""
+
+    time_ms: float
+    frames: Tuple[Frame, ...]
+
+    @property
+    def leaf(self):
+        """The innermost (currently executing) frame, or None if idle."""
+        return self.frames[-1] if self.frames else None
+
+    def contains(self, frame):
+        """True if *frame* appears anywhere in this trace."""
+        return frame in self.frames
+
+    def __str__(self):
+        if not self.frames:
+            return "<idle>"
+        return " -> ".join(str(frame) for frame in reversed(self.frames))
+
+
+def occurrence_factor(traces, frame):
+    """Fraction of *traces* whose stack contains *frame* (0 if empty)."""
+    if not traces:
+        return 0.0
+    hits = sum(1 for trace in traces if trace.contains(frame))
+    return hits / len(traces)

@@ -1,0 +1,26 @@
+"""Operation kinds.
+
+``UI``
+    Must run on the main thread (layout, inflation, drawing).  Never a
+    soft hang bug, even when slow: it generates heavy render work.
+``BLOCKING``
+    I/O-ish API (file, camera, database, parsing) that could move to a
+    worker thread; a manifested slow call on the main thread is a soft
+    hang bug.
+``COMPUTE``
+    Self-developed lengthy operation (heavy loop); also a soft hang bug
+    but invisible to name-based offline scanners.
+``LIGHT``
+    Cheap bookkeeping call; never hangs.
+"""
+
+import enum
+
+
+class ApiKind(enum.Enum):
+    """Behavioural class of an operation."""
+
+    UI = "ui"
+    BLOCKING = "blocking"
+    COMPUTE = "compute"
+    LIGHT = "light"

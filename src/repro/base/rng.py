@@ -1,0 +1,46 @@
+"""Deterministic random-number streams.
+
+Every stochastic decision in the simulator draws from a
+:class:`numpy.random.Generator` obtained via :func:`stream`, keyed by a
+root seed plus a tuple of string/int keys.  The same (seed, keys) pair
+always yields the same stream, independently of how many other streams
+were created, which keeps every experiment reproducible and lets
+unrelated subsystems (durations, counters, sampling jitter) evolve
+independently when parameters change elsewhere.
+"""
+
+import hashlib
+
+import numpy as np
+
+
+def _digest(seed, keys):
+    hasher = hashlib.sha256()
+    hasher.update(str(seed).encode("utf-8"))
+    for key in keys:
+        hasher.update(b"\x00")
+        hasher.update(str(key).encode("utf-8"))
+    return hasher.digest()
+
+
+def stream(seed, *keys):
+    """Return a seeded :class:`numpy.random.Generator` for (seed, keys).
+
+    >>> stream(1, "a").random() == stream(1, "a").random()
+    True
+    >>> stream(1, "a").random() == stream(1, "b").random()
+    False
+    """
+    digest = _digest(seed, keys)
+    words = np.frombuffer(digest, dtype=np.uint32)
+    return np.random.Generator(np.random.PCG64(words))
+
+
+def substream_seed(seed, *keys):
+    """Return a 64-bit integer seed derived from (seed, keys).
+
+    Useful when a component wants to store a compact seed and create its
+    own streams later.
+    """
+    digest = _digest(seed, keys)
+    return int.from_bytes(digest[:8], "little")

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates the paper's experiments and
+runs Hang Doctor over the synthetic fleet from a shell:
+
+* ``apps`` — list the catalog apps and their ground-truth bugs
+* ``session`` — run Hang Doctor over one app's simulated user session
+* ``scan`` — run the offline scanner over an app
+* ``fleet`` — the Table 5 fleet study
+* ``compare`` — the Figure 8 detector comparison
+* ``filter`` — the correlation/threshold design pipeline (Tables 3-4)
+* ``testbed`` — lab-vs-wild bug coverage (§4.6)
+"""
+
+import argparse
+import sys
+
+from repro.apps.catalog import NAMED_APPS, TABLE5_APPS, get_app
+from repro.apps.sessions import SessionGenerator
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.offline import OfflineScanner
+from repro.detectors.runner import run_detector
+from repro.sim.device import ALL_DEVICES
+from repro.sim.engine import ExecutionEngine
+
+
+def _device(name):
+    for device in ALL_DEVICES:
+        if device.name.lower().replace(" ", "-") == name.lower():
+            return device
+    raise SystemExit(
+        f"unknown device {name!r}; available: "
+        f"{[d.name for d in ALL_DEVICES]}"
+    )
+
+
+def cmd_apps(args):
+    """List the catalog apps with their bug counts."""
+    print(f"{'app':18s}{'category':18s}{'actions':>8}{'bugs':>6}")
+    for app in NAMED_APPS.values():
+        print(f"{app.name:18s}{app.category:18s}"
+              f"{len(app.actions):>8}{len(app.hang_bug_operations()):>6}")
+
+
+def cmd_session(args):
+    """Run Hang Doctor over one app's simulated user session."""
+    app = get_app(args.app)
+    engine = ExecutionEngine(_device(args.device), seed=args.seed)
+    doctor = HangDoctor(app, engine.device, seed=args.seed)
+    session = SessionGenerator(seed=args.seed).user_session(
+        app, user_id=0, actions_per_user=args.actions
+    )
+    executions = engine.run_session(app, session.action_names)
+    run = run_detector(doctor, executions)
+    for detection in run.detections:
+        print(f"{detection.action_name:20s} {detection.root_name} "
+              f"({detection.occurrence:.0%}, "
+              f"{detection.response_time_ms:.0f} ms)")
+    print()
+    print(doctor.report.render())
+
+
+def cmd_scan(args):
+    """Run the offline scanner over an app; list hits and misses."""
+    app = get_app(args.app)
+    scanner = OfflineScanner(analyze_libraries=not args.source_only)
+    for detection in scanner.scan_app(app):
+        print(f"{detection.action_name:20s} {detection.api_name}")
+    missed = scanner.missed_bugs(app)
+    print(f"\n{len(missed)} ground-truth bug(s) this scanner misses:")
+    for op in missed:
+        print(f"  {op.api.qualified_name} "
+              f"({op.caller_file}:{op.caller_line})")
+
+
+def cmd_fleet(args):
+    """Regenerate the Table 5 fleet study."""
+    from repro.harness.exp_fleet import table5
+
+    result = table5(_device(args.device), seed=args.seed,
+                    users=args.users, actions_per_user=args.actions)
+    print(result.render())
+
+
+def cmd_compare(args):
+    """Regenerate the Figure 8 detector comparison."""
+    from repro.harness.exp_comparison import figure8
+
+    result = figure8(_device(args.device), seed=args.seed,
+                     users=args.users, actions_per_user=args.actions)
+    print(result.render())
+
+
+def cmd_filter(args):
+    """Regenerate the filter-design analyses (Tables 3-4)."""
+    from repro.harness.exp_filter import table3, table4
+
+    device = _device(args.device)
+    print(table3(device, seed=args.seed).render())
+    print()
+    print(table4(device, seed=args.seed).render())
+
+
+def cmd_reproduce(args):
+    """Regenerate every paper table and figure into a directory."""
+    from repro.harness.reproduce import generate_all
+
+    def progress(name, seconds):
+        print(f"  {name:10s} done in {seconds:5.1f}s")
+
+    print(f"Reproducing all experiments into {args.out}/ ...")
+    generate_all(_device(args.device), args.out, seed=args.seed,
+                 progress=progress)
+    print("done.")
+
+
+def cmd_verify(args):
+    """Verify every encoded paper claim against fresh measurements."""
+    from repro.harness.paper import verify_reproduction
+
+    print("Measuring all headline experiments (takes ~15 s)...")
+    checks, text = verify_reproduction(_device(args.device),
+                                       seed=args.seed)
+    print(text)
+    deviating = [c.claim.key for c in checks if c.verdict == "deviates"]
+    if deviating:
+        raise SystemExit(f"claims deviating from the paper: {deviating}")
+    print("\nall claims hold.")
+
+
+def cmd_testbed(args):
+    """Compare in-lab vs in-the-wild bug coverage."""
+    from repro.testbed import lab_vs_wild
+
+    apps = (
+        [get_app(args.app)] if args.app else list(TABLE5_APPS[:8])
+    )
+    report = lab_vs_wild(apps, _device(args.device), seed=args.seed)
+    print(report.render())
+    missed = report.missed_in_lab()
+    if missed:
+        print("\nbugs that never manifested on the test bed:")
+        for app_name, site in missed:
+            print(f"  {app_name}: {site}")
+
+
+def build_parser():
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hang Doctor (EuroSys'18) reproduction toolkit",
+    )
+    parser.add_argument("--device", default="lg-v10",
+                        help="device profile (lg-v10, nexus-5, galaxy-s3)")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list catalog apps").set_defaults(
+        func=cmd_apps
+    )
+
+    session = sub.add_parser("session",
+                             help="run Hang Doctor over a user session")
+    session.add_argument("app")
+    session.add_argument("--actions", type=int, default=80)
+    session.set_defaults(func=cmd_session)
+
+    scan = sub.add_parser("scan", help="offline-scan an app")
+    scan.add_argument("app")
+    scan.add_argument("--source-only", action="store_true",
+                      help="source-level scanning (no library bytecode)")
+    scan.set_defaults(func=cmd_scan)
+
+    fleet = sub.add_parser("fleet", help="the Table 5 fleet study")
+    fleet.add_argument("--users", type=int, default=4)
+    fleet.add_argument("--actions", type=int, default=60)
+    fleet.set_defaults(func=cmd_fleet)
+
+    compare = sub.add_parser("compare",
+                             help="the Figure 8 detector comparison")
+    compare.add_argument("--users", type=int, default=2)
+    compare.add_argument("--actions", type=int, default=50)
+    compare.set_defaults(func=cmd_compare)
+
+    filt = sub.add_parser("filter", help="the filter-design pipeline")
+    filt.set_defaults(func=cmd_filter)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every paper table and figure"
+    )
+    reproduce.add_argument("--out", default="reproduction")
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    verify = sub.add_parser(
+        "verify", help="check every paper claim against fresh runs"
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    testbed = sub.add_parser("testbed", help="lab-vs-wild coverage")
+    testbed.add_argument("--app", default=None)
+    testbed.set_defaults(func=cmd_testbed)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _device(args.device)  # validate up front for a clean error
+    try:
+        args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

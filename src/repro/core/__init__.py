@@ -1,0 +1,59 @@
+"""Hang Doctor: the paper's primary contribution.
+
+A two-phase runtime methodology for detecting and diagnosing soft
+hangs, embedded in an app:
+
+* Phase 1 — :class:`~repro.core.schecker.SChecker`: when an
+  *Uncategorized* action's response time exceeds 100 ms, read three
+  kernel performance-event counters (main−render differences) and
+  label the action *Suspicious* only if a symptom condition fires.
+* Phase 2 — :class:`~repro.core.diagnoser.Diagnoser`: for Suspicious /
+  Hang-Bug actions that hang again, collect main-thread stack traces
+  for the duration of the hang and attribute the root cause by
+  occurrence factor; non-UI root causes are soft hang bugs.
+
+Detected unknown blocking APIs feed the
+:class:`~repro.core.blocking_db.BlockingApiDatabase` used by offline
+scanners; everything is summarized for the developer in the
+:class:`~repro.core.report.HangBugReport`.
+"""
+
+from repro.core.adaptation import (
+    AdaptationResult,
+    BackgroundCollector,
+    FilterAdapter,
+)
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.config import HangDoctorConfig
+from repro.core.diagnoser import Diagnoser
+from repro.core.event_monitor import PerformanceEventMonitor
+from repro.core.hang_doctor import HangDoctor
+from repro.core.injector import AppInjector
+from repro.core.report import HangBugReport, ReportEntry
+from repro.core.response_monitor import ResponseTimeMonitor
+from repro.core.schecker import SChecker, SymptomCheck
+from repro.core.states import ActionState, ActionStateMachine
+from repro.core.trace_analyzer import Diagnosis, TraceAnalyzer
+from repro.core.trace_collector import TraceCollector
+
+__all__ = [
+    "ActionState",
+    "ActionStateMachine",
+    "AdaptationResult",
+    "AppInjector",
+    "BackgroundCollector",
+    "BlockingApiDatabase",
+    "Diagnoser",
+    "Diagnosis",
+    "FilterAdapter",
+    "HangBugReport",
+    "HangDoctor",
+    "HangDoctorConfig",
+    "PerformanceEventMonitor",
+    "ReportEntry",
+    "ResponseTimeMonitor",
+    "SChecker",
+    "SymptomCheck",
+    "TraceAnalyzer",
+    "TraceCollector",
+]

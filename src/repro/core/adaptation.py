@@ -1,0 +1,225 @@
+"""Automatic filter adaptation (paper §3.3.1, "Automatic Adaptation of
+the Filter").
+
+Hang Doctor's thresholds generalize across devices, but the paper
+sketches a two-level safety net for platforms/bugs outside the design
+set, driven by a periodic background collection of counter samples and
+stack traces:
+
+* **Light adaptation** (cheap, on-device): when the collected samples
+  show false positives or false negatives that a pure threshold nudge
+  can fix, move the offending thresholds just far enough — raise a
+  threshold to exclude FP values, lower it to include FN values —
+  while never sacrificing a currently-detected bug.
+* **Heavy adaptation** (server-side): when nudging is not enough,
+  re-run the full event-selection/threshold-fitting procedure of
+  :func:`repro.analysis.thresholds.fit_filter` on the collected data
+  and ship the new filter to the device.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.correlation import (
+    CounterSample,
+    correlate,
+    ranked_events,
+)
+from repro.analysis.thresholds import FilterFit, fit_filter
+
+
+@dataclass(frozen=True)
+class AdaptationResult:
+    """Outcome of one adaptation pass."""
+
+    #: "none", "light", or "heavy".
+    mode: str
+    #: The (possibly new) filter thresholds.
+    thresholds: Dict[str, float]
+    #: Filter misclassifications before/after, (fn, fp) pairs.
+    errors_before: tuple
+    errors_after: tuple
+
+
+class FilterAdapter:
+    """Adapts an existing filter to freshly collected labelled samples."""
+
+    def __init__(self, candidate_events=None, max_events=5):
+        self.candidate_events = candidate_events
+        self.max_events = max_events
+
+    def adapt(self, current_thresholds, samples):
+        """Return an :class:`AdaptationResult` for *samples*.
+
+        Labels come from the background collection's stack traces (the
+        ground truth a device can establish for itself by diagnosing
+        each collected hang).
+        """
+        current = FilterFit(thresholds=dict(current_thresholds))
+        fn, fp = self._errors(current, samples)
+        if fn == 0 and fp == 0:
+            return AdaptationResult(
+                mode="none", thresholds=dict(current_thresholds),
+                errors_before=(fn, fp), errors_after=(fn, fp),
+            )
+
+        light = self._light_adapt(current_thresholds, samples)
+        light_fn, light_fp = self._errors(light, samples)
+        if light_fn == 0 and light_fp <= fp:
+            return AdaptationResult(
+                mode="light", thresholds=dict(light.thresholds),
+                errors_before=(fn, fp), errors_after=(light_fn, light_fp),
+            )
+
+        heavy = self._heavy_adapt(samples)
+        heavy_fn, heavy_fp = self._errors(heavy, samples)
+        return AdaptationResult(
+            mode="heavy", thresholds=dict(heavy.thresholds),
+            errors_before=(fn, fp), errors_after=(heavy_fn, heavy_fp),
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _errors(filter_fit, samples):
+        tp, fp, fn, _ = filter_fit.confusion(samples)
+        return fn, fp
+
+    @staticmethod
+    def _light_adapt(current_thresholds, samples):
+        """Nudge thresholds without changing the event set.
+
+        For each event: lower the threshold just below the smallest
+        value of any currently-missed bug (fixing FNs), unless doing so
+        admits more UI samples than it fixes; raise it just above the
+        largest UI value below the smallest detected-bug value (fixing
+        FPs without losing bugs).
+        """
+        new_thresholds = dict(current_thresholds)
+        current = FilterFit(thresholds=dict(current_thresholds))
+        missed = [
+            s for s in samples if s.is_hang_bug and not current.fires(s.values)
+        ]
+        for event, threshold in current_thresholds.items():
+            bug_values = sorted(
+                s.values.get(event, 0.0) for s in samples if s.is_hang_bug
+            )
+            ui_values = sorted(
+                s.values.get(event, 0.0) for s in samples if not s.is_hang_bug
+            )
+            if missed:
+                target = min(
+                    s.values.get(event, 0.0) for s in missed
+                )
+                candidate = target - abs(target) * 1e-6 - 1e-9
+                admitted = sum(1 for v in ui_values if candidate < v <= threshold)
+                if admitted <= len(missed):
+                    new_thresholds[event] = min(threshold, candidate)
+            elif ui_values and bug_values:
+                # Raise toward the largest UI value still under every
+                # detected bug value for this event.
+                floor = min(v for v in bug_values if v > threshold) \
+                    if any(v > threshold for v in bug_values) else None
+                offenders = [v for v in ui_values if v > threshold]
+                if offenders and floor is not None:
+                    candidate = max(v for v in offenders if v < floor) \
+                        if any(v < floor for v in offenders) else threshold
+                    new_thresholds[event] = max(threshold, candidate)
+        return FilterFit(thresholds=new_thresholds)
+
+    def _heavy_adapt(self, samples):
+        """Re-run selection + fitting on the collected samples."""
+        events = self.candidate_events
+        if events is None:
+            events = sorted(samples[0].values)
+        coefficients = correlate(samples, events=events)
+        ranked = [event for event, _ in ranked_events(coefficients)]
+        return fit_filter(samples, ranked, max_events=self.max_events)
+
+
+class BackgroundCollector:
+    """The paper's periodic background data collection.
+
+    Every ``period`` action executions, independently of S-Checker and
+    Diagnoser, Hang Doctor collects one labelled counter sample for the
+    adaptation loop: the top-correlated events are read for the
+    execution and — if it soft-hung — stack traces establish the ground
+    truth (bug vs UI) on the device itself.  When enough samples are
+    banked, a :class:`FilterAdapter` pass decides whether the current
+    thresholds need a light nudge or a heavy server-side refit.
+
+    The period is chosen "long enough so that this extra data
+    collection overhead can become negligible" (paper §3.3.1).
+    """
+
+    def __init__(self, device, config, app_package=None, period=50,
+                 batch_size=20, events=None, seed=0):
+        from repro.core.trace_analyzer import TraceAnalyzer
+        from repro.core.trace_collector import TraceCollector
+        from repro.sim.pmu import PmuSampler
+        from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.config = config
+        self.period = period
+        self.batch_size = batch_size
+        self.events = tuple(events or config.filter_events())
+        self._sampler = PmuSampler(device, self.events, seed=seed)
+        self._collector = TraceCollector(period_ms=config.trace_period_ms)
+        self._analyzer = TraceAnalyzer(
+            occurrence_threshold=config.occurrence_threshold,
+            app_package=app_package,
+        )
+        self._main = MAIN_THREAD
+        self._render = RENDER_THREAD
+        self._executions_seen = 0
+        self.samples: List[CounterSample] = []
+        #: Adaptation passes performed (result objects, newest last).
+        self.adaptations: List[AdaptationResult] = []
+
+    def observe(self, execution):
+        """Account one execution; maybe collect a sample; maybe adapt.
+
+        Returns the AdaptationResult if an adaptation pass ran on this
+        call, else None.
+        """
+        self._executions_seen += 1
+        if self._executions_seen % self.period != 0:
+            return None
+        if not execution.has_soft_hang:
+            return None
+        sample = self._collect(execution)
+        if sample is not None:
+            self.samples.append(sample)
+        if len(self.samples) < self.batch_size:
+            return None
+        adapter = FilterAdapter(candidate_events=list(self.events))
+        result = adapter.adapt(self.config.filter_thresholds, self.samples)
+        if result.mode != "none":
+            self.config.filter_thresholds = dict(result.thresholds)
+        self.adaptations.append(result)
+        self.samples.clear()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, execution):
+        """One labelled sample: counter diffs + trace-derived label."""
+        values = {
+            event: self._sampler.read_difference(
+                execution.timeline, event, self._main, self._render,
+                execution.start_ms, execution.end_ms,
+            )
+            for event in self.events
+        }
+        hang = execution.hang_events()[0]
+        traces = self._collector.collect(execution, hang)
+        diagnosis = self._analyzer.analyze(traces)
+        if diagnosis.root is None:
+            return None
+        return CounterSample(
+            values=values,
+            is_hang_bug=diagnosis.is_hang_bug,
+            source=f"background:{execution.action.name}",
+        )

@@ -1,0 +1,93 @@
+"""Phase 2: the Diagnoser (Trace Collector + Trace Analyzer).
+
+Runs for actions in the Suspicious or Hang Bug state.  If the current
+execution violates the 100 ms timeout again, stack traces are
+collected until the end of each soft hang and analyzed for the root
+cause; otherwise the action is left Suspicious so the next hang can be
+caught (occasional bugs).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.trace_analyzer import Diagnosis, TraceAnalyzer
+from repro.core.trace_collector import TraceCollector
+
+
+@dataclass(frozen=True)
+class HangDiagnosis:
+    """Diagnosis of one soft hang (one input event's hang window)."""
+
+    event_name: str
+    response_time_ms: float
+    diagnosis: Diagnosis
+    #: Window stack traces were collected over.
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+
+    @property
+    def is_hang_bug(self):
+        """True when the hang's root cause is a soft hang bug."""
+        return self.diagnosis.is_hang_bug
+
+
+@dataclass(frozen=True)
+class DiagnoserResult:
+    """Everything the Diagnoser produced for one action execution."""
+
+    #: Per-hang diagnoses (one per input event that hung).
+    hang_diagnoses: Tuple[HangDiagnosis, ...]
+    #: Stack-trace samples collected (overhead accounting).
+    samples: int
+
+    @property
+    def diagnosed(self):
+        """True if at least one hang was traced and analyzed."""
+        return bool(self.hang_diagnoses)
+
+    @property
+    def found_hang_bug(self):
+        """True if any hang's root cause is a soft hang bug."""
+        return any(h.is_hang_bug for h in self.hang_diagnoses)
+
+    def bug_diagnoses(self):
+        """The hang diagnoses attributed to soft hang bugs."""
+        return [h for h in self.hang_diagnoses if h.is_hang_bug]
+
+
+class Diagnoser:
+    """Second-phase deep analysis."""
+
+    def __init__(self, config, app_package=None):
+        self.config = config
+        self.collector = TraceCollector(period_ms=config.trace_period_ms)
+        self.analyzer = TraceAnalyzer(
+            occurrence_threshold=config.occurrence_threshold,
+            app_package=app_package,
+        )
+
+    def diagnose(self, execution):
+        """Trace and analyze every soft hang in *execution*.
+
+        Returns a :class:`DiagnoserResult`; ``hang_diagnoses`` is empty
+        when the timeout was not violated (no data is collected in that
+        case, and the caller should leave the action Suspicious).
+        """
+        before = self.collector.samples_collected
+        diagnoses = []
+        for event_execution in execution.events:
+            rt = event_execution.response_time_ms
+            if rt <= self.config.perceivable_delay_ms:
+                continue
+            traces = self.collector.collect(execution, event_execution)
+            diagnoses.append(
+                HangDiagnosis(
+                    event_name=event_execution.spec.name,
+                    response_time_ms=rt,
+                    diagnosis=self.analyzer.analyze(traces),
+                    start_ms=event_execution.dispatch_ms,
+                    end_ms=event_execution.finish_ms,
+                )
+            )
+        samples = self.collector.samples_collected - before
+        return DiagnoserResult(hang_diagnoses=tuple(diagnoses), samples=samples)

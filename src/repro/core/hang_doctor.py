@@ -1,0 +1,149 @@
+"""The Hang Doctor orchestrator (paper Figure 2(a)).
+
+Wires the runtime components together around the per-action state
+machine:
+
+* every execution's input-event response times are measured (cheap,
+  always on);
+* Uncategorized actions run with the performance-event monitor
+  enabled; on a hang, S-Checker's filter decides Suspicious vs Normal;
+* Suspicious / Hang Bug actions that hang again are traced and
+  analyzed by the Diagnoser; confirmed bugs are recorded in the Hang
+  Bug Report and — when the root cause is an API rather than
+  self-developed code — added to the known-blocking-API database;
+* Normal actions are periodically reset to Uncategorized.
+
+HangDoctor implements the common :class:`~repro.detectors.base.Detector`
+interface so it can be compared head-to-head with the baselines.
+"""
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.config import HangDoctorConfig
+from repro.core.diagnoser import Diagnoser
+from repro.core.injector import AppInjector
+from repro.core.report import HangBugReport
+from repro.core.schecker import SChecker
+from repro.core.states import ActionState, ActionStateMachine
+from repro.detectors.base import ActionOutcome, Detection, Detector
+
+
+class HangDoctor(Detector):
+    """Two-phase runtime soft-hang-bug detector for one app."""
+
+    name = "HD"
+
+    def __init__(self, app, device, config=None, blocking_db=None, seed=0):
+        self.app = app
+        self.device = device
+        self.config = (config or HangDoctorConfig()).validate()
+        self.blocking_db = (
+            blocking_db if blocking_db is not None
+            else BlockingApiDatabase.initial()
+        )
+        self.injector = AppInjector(app)
+        self.machine = ActionStateMachine(
+            reset_period=self.config.normal_reset_period
+        )
+        for row in self.injector.rows():
+            self.machine.register(row.uid)
+        self.schecker = SChecker(self.config, device, seed=seed)
+        self.diagnoser = Diagnoser(self.config, app_package=app.package)
+        self.report = HangBugReport(app.name)
+
+    # ------------------------------------------------------------------
+
+    def state_of(self, action_name):
+        """Current state of a named action."""
+        return self.machine.state(self.injector.uid_of(action_name))
+
+    def process(self, execution, device_id=0):
+        """Observe one action execution and run the two-phase algorithm."""
+        if execution.app.package != self.app.package:
+            raise ValueError(
+                f"execution belongs to {execution.app.package!r}; this "
+                f"Hang Doctor instance is embedded in {self.app.package!r}"
+            )
+        uid = self.injector.uid_of(execution.action.name)
+        state = self.machine.state(uid)
+        outcome = ActionOutcome()
+        outcome.cost.rt_events = len(execution.events)
+        hang = execution.response_time_ms > self.config.perceivable_delay_ms
+
+        if state is ActionState.UNCATEGORIZED:
+            self._phase_one(uid, execution, hang, outcome)
+        elif state is ActionState.NORMAL:
+            self.machine.note_normal_execution(uid, time_ms=execution.end_ms)
+        else:  # SUSPICIOUS or HANG_BUG
+            self._phase_two(uid, state, execution, hang, outcome, device_id)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _phase_one(self, uid, execution, hang, outcome):
+        """S-Checker: counters were on for this Uncategorized action."""
+        outcome.cost.counter_window_ms = execution.end_ms - execution.start_ms
+        if not hang:
+            # No soft hang: leave Uncategorized, monitor again next time.
+            return
+        check = self.schecker.check(execution)
+        outcome.cost.counter_reads = 1
+        if check.symptomatic:
+            self.machine.transition(
+                uid, ActionState.SUSPICIOUS, "S-Checker",
+                time_ms=execution.end_ms,
+            )
+        else:
+            self.machine.transition(
+                uid, ActionState.NORMAL, "S-Checker", time_ms=execution.end_ms
+            )
+
+    def _phase_two(self, uid, state, execution, hang, outcome, device_id):
+        """Diagnoser: trace and analyze if the timeout fires again."""
+        if not hang:
+            # Occasional bug: stay put, catch the next manifestation.
+            return
+        if state is ActionState.HANG_BUG and not self.config.trace_hang_bug_state:
+            return
+        result = self.diagnoser.diagnose(execution)
+        outcome.trace_episodes.extend(
+            (h.start_ms, h.end_ms) for h in result.hang_diagnoses
+        )
+        outcome.cost.trace_samples = result.samples
+        outcome.cost.analyses = len(result.hang_diagnoses)
+
+        bug_diagnoses = result.bug_diagnoses()
+        if state is ActionState.SUSPICIOUS:
+            target = (
+                ActionState.HANG_BUG if bug_diagnoses else ActionState.NORMAL
+            )
+            self.machine.transition(
+                uid, target, "Diagnoser", time_ms=execution.end_ms
+            )
+
+        for hang_diag in bug_diagnoses:
+            diagnosis = hang_diag.diagnosis
+            outcome.detections.append(
+                Detection(
+                    detector=self.name,
+                    app_name=self.app.name,
+                    action_name=execution.action.name,
+                    time_ms=execution.end_ms,
+                    response_time_ms=hang_diag.response_time_ms,
+                    root=diagnosis.root,
+                    caller=diagnosis.caller,
+                    occurrence=diagnosis.occurrence,
+                    root_is_ui=False,
+                    is_self_developed=diagnosis.is_self_developed,
+                )
+            )
+            self.report.record(
+                operation=diagnosis.root.qualified_name,
+                file=diagnosis.root.file,
+                line=diagnosis.root.line,
+                is_self_developed=diagnosis.is_self_developed,
+                response_time_ms=hang_diag.response_time_ms,
+                occurrence_factor=diagnosis.occurrence,
+                device_id=device_id,
+            )
+            if not diagnosis.is_self_developed:
+                self.blocking_db.add(diagnosis.root.qualified_name)

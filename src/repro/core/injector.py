@@ -1,0 +1,48 @@
+"""App Injector.
+
+The paper's offline component that instruments an app before release:
+it assigns a Unique ID (UID) to every user-action entry point
+(onClick, onScroll, ... listeners), so that at runtime Hang Doctor can
+look up each executing action's current state in O(1).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InjectedAction:
+    """Look-up table row for one instrumented action."""
+
+    uid: int
+    action_name: str
+    handler: str
+
+
+class AppInjector:
+    """Assigns UIDs to an app's actions and builds the look-up table."""
+
+    def __init__(self, app):
+        self.app = app
+        self._by_name = {}
+        self._by_uid = {}
+        for uid, action in enumerate(app.actions, start=1):
+            row = InjectedAction(
+                uid=uid, action_name=action.name, handler=action.handler
+            )
+            self._by_name[action.name] = row
+            self._by_uid[uid] = row
+
+    def uid_of(self, action_name):
+        """UID of a named action (raises KeyError if not instrumented)."""
+        return self._by_name[action_name].uid
+
+    def action_name(self, uid):
+        """Action name for a UID."""
+        return self._by_uid[uid].action_name
+
+    def rows(self):
+        """All look-up table rows, in UID order."""
+        return [self._by_uid[uid] for uid in sorted(self._by_uid)]
+
+    def __len__(self):
+        return len(self._by_uid)

@@ -1,0 +1,133 @@
+"""Persistence and anonymized telemetry.
+
+The paper's privacy stance (§3.2): "all the anonymized data sent out
+from the user devices only include those blocking operations that have
+caused a soft hang."  This module defines exactly that wire format —
+a detection record carries the blamed operation, its source location,
+the hang length and occurrence factor, and nothing else (no action
+sequences, no content, no identifiers beyond an opaque device id) —
+plus JSON round-trips for the Hang Bug Report and the blocking-API
+database so state survives app restarts and database upgrades can be
+shipped to devices.
+"""
+
+import json
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.report import HangBugReport, ReportEntry
+
+#: Wire-format version for forward compatibility.
+SCHEMA_VERSION = 1
+
+
+def detection_to_record(detection, device_id=0):
+    """The anonymized telemetry record for one detection."""
+    return {
+        "operation": detection.root_name,
+        "file": detection.root.file if detection.root else None,
+        "line": detection.root.line if detection.root else None,
+        "self_developed": detection.is_self_developed,
+        "response_time_ms": round(detection.response_time_ms, 1),
+        "occurrence_factor": round(detection.occurrence, 3),
+        "device": device_id,
+    }
+
+
+def report_to_json(report):
+    """Serialize a Hang Bug Report."""
+    entries = []
+    for entry in report.entries():
+        entries.append({
+            "operation": entry.operation,
+            "file": entry.file,
+            "line": entry.line,
+            "self_developed": entry.is_self_developed,
+            "occurrences": entry.occurrences,
+            "devices": sorted(entry.devices),
+            "total_hang_ms": entry.total_hang_ms,
+            "max_occurrence_factor": entry.max_occurrence_factor,
+        })
+    return json.dumps({
+        "schema": SCHEMA_VERSION,
+        "app": report.app_name,
+        "entries": entries,
+    }, indent=2)
+
+
+def report_from_json(text):
+    """Rebuild a Hang Bug Report from its JSON form."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report schema {payload.get('schema')!r}"
+        )
+    report = HangBugReport(payload["app"])
+    for raw in payload["entries"]:
+        entry = ReportEntry(
+            operation=raw["operation"],
+            file=raw["file"],
+            line=raw["line"],
+            is_self_developed=raw["self_developed"],
+            occurrences=raw["occurrences"],
+            devices=set(raw["devices"]),
+            total_hang_ms=raw["total_hang_ms"],
+            max_occurrence_factor=raw["max_occurrence_factor"],
+        )
+        report._entries[(entry.operation, entry.file, entry.line)] = entry
+    return report
+
+
+def merge_reports(reports, app_name=None):
+    """Merge per-device reports into one fleet report.
+
+    This is the server-side half of the paper's deployment: each
+    device uploads its own (anonymized) report; the developer sees the
+    aggregate ordered by occurrences across all devices.
+    """
+    if not reports:
+        raise ValueError("no reports to merge")
+    names = {report.app_name for report in reports}
+    if app_name is None:
+        if len(names) > 1:
+            raise ValueError(f"reports for different apps: {sorted(names)}")
+        app_name = next(iter(names))
+    merged = HangBugReport(app_name)
+    for report in reports:
+        for entry in report.entries():
+            key = (entry.operation, entry.file, entry.line)
+            existing = merged._entries.get(key)
+            if existing is None:
+                existing = ReportEntry(
+                    operation=entry.operation, file=entry.file,
+                    line=entry.line,
+                    is_self_developed=entry.is_self_developed,
+                )
+                merged._entries[key] = existing
+            existing.occurrences += entry.occurrences
+            existing.devices |= entry.devices
+            existing.total_hang_ms += entry.total_hang_ms
+            existing.max_occurrence_factor = max(
+                existing.max_occurrence_factor, entry.max_occurrence_factor
+            )
+    return merged
+
+
+def database_to_json(db):
+    """Serialize a blocking-API database (the shippable upgrade)."""
+    return json.dumps({
+        "schema": SCHEMA_VERSION,
+        "names": sorted(db.names()),
+        "runtime_discoveries": db.runtime_discoveries(),
+    }, indent=2)
+
+
+def database_from_json(text):
+    """Rebuild a blocking-API database."""
+    payload = json.loads(text)
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported database schema {payload.get('schema')!r}"
+        )
+    db = BlockingApiDatabase(payload["names"])
+    db._added_at_runtime = list(payload.get("runtime_discoveries", []))
+    return db

@@ -1,0 +1,102 @@
+"""Hang Bug Report (paper Figure 2(b)).
+
+The developer-facing summary Hang Doctor maintains: one entry per
+detected soft hang bug, ordered by how often the bug was observed
+across user devices, with the blamed operation, its source location,
+the mean hang length, and the share of all bug occurrences it accounts
+for.  Only anonymized blocking-operation records ever leave a user
+device (paper §3.2's privacy note), which is what the entry fields
+reflect.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReportEntry:
+    """Aggregated record of one detected soft hang bug."""
+
+    operation: str
+    file: str
+    line: int
+    is_self_developed: bool
+    occurrences: int = 0
+    devices: set = None
+    total_hang_ms: float = 0.0
+    max_occurrence_factor: float = 0.0
+
+    def __post_init__(self):
+        if self.devices is None:
+            self.devices = set()
+
+    @property
+    def mean_hang_ms(self):
+        """Average hang length across the recorded occurrences."""
+        return self.total_hang_ms / self.occurrences if self.occurrences else 0.0
+
+
+class HangBugReport:
+    """Accumulates detections into the developer-facing report."""
+
+    def __init__(self, app_name):
+        self.app_name = app_name
+        self._entries = {}
+
+    def record(self, *, operation, file, line, is_self_developed,
+               response_time_ms, occurrence_factor, device_id=0):
+        """Fold one runtime detection into the report."""
+        key = (operation, file, line)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = ReportEntry(
+                operation=operation, file=file, line=line,
+                is_self_developed=is_self_developed,
+            )
+            self._entries[key] = entry
+        entry.occurrences += 1
+        entry.devices.add(device_id)
+        entry.total_hang_ms += response_time_ms
+        entry.max_occurrence_factor = max(
+            entry.max_occurrence_factor, occurrence_factor
+        )
+
+    def entries(self):
+        """Entries ordered by share of occurrences (descending), as in
+        the paper's example report."""
+        return sorted(
+            self._entries.values(), key=lambda e: e.occurrences, reverse=True
+        )
+
+    def total_occurrences(self):
+        """Sum of occurrences across all entries."""
+        return sum(entry.occurrences for entry in self._entries.values())
+
+    def occurrence_share(self, entry):
+        """Fraction of all recorded bug occurrences due to *entry*."""
+        total = self.total_occurrences()
+        return entry.occurrences / total if total else 0.0
+
+    def render(self):
+        """Human-readable report table (Figure 2(b) style)."""
+        entries = self.entries()
+        op_width = max([len("operation")]
+                       + [len(e.operation) for e in entries]) + 2
+        loc_width = max([len("location")]
+                        + [len(f"{e.file}:{e.line}") for e in entries]) + 2
+        lines = [
+            f"Hang Bug Report - {self.app_name}",
+            f"{'operation':<{op_width}}{'location':<{loc_width}}"
+            f"{'hang(ms)':>9}{'occurr.':>9}{'share':>8}",
+        ]
+        for entry in entries:
+            share = self.occurrence_share(entry)
+            location = f"{entry.file}:{entry.line}"
+            lines.append(
+                f"{entry.operation:<{op_width}}{location:<{loc_width}}"
+                f"{entry.mean_hang_ms:>9.0f}{entry.occurrences:>9}"
+                f"{share:>7.0%}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,90 @@
+"""Response-time monitor.
+
+Measures per-input-event response times exactly the way the paper's
+implementation does on Android: by installing a logging printer through
+``Looper.setMessageLogging``, which fires once when a message is
+dequeued (``>>>>> Dispatching to ...``) and once when it finishes
+(``<<<<< Finished ...``).  The response time is the difference between
+the two invocations.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.looper import DISPATCH_PREFIX, FINISH_PREFIX
+
+
+@dataclass(frozen=True)
+class EventTiming:
+    """Measured timing of one input event."""
+
+    target: str
+    dispatch_ms: float
+    finish_ms: float
+
+    @property
+    def response_time_ms(self):
+        """Dispatch-to-finish processing time."""
+        return self.finish_ms - self.dispatch_ms
+
+
+class ResponseTimeMonitor:
+    """Parses Looper logging lines into per-event response times."""
+
+    def __init__(self):
+        self.timings: List[EventTiming] = []
+        self._pending_target = None
+        self._pending_dispatch = None
+
+    def printer(self, line, time_ms):
+        """The callback handed to ``Looper.set_message_logging``."""
+        if line.startswith(DISPATCH_PREFIX):
+            if self._pending_target is not None:
+                raise ValueError(
+                    "dispatch line while a message is still in flight"
+                )
+            self._pending_target = line[len(DISPATCH_PREFIX):]
+            self._pending_dispatch = time_ms
+        elif line.startswith(FINISH_PREFIX):
+            target = line[len(FINISH_PREFIX):]
+            if self._pending_target != target:
+                raise ValueError(
+                    f"finish line for {target!r} does not match in-flight "
+                    f"message {self._pending_target!r}"
+                )
+            self.timings.append(
+                EventTiming(
+                    target=target,
+                    dispatch_ms=self._pending_dispatch,
+                    finish_ms=time_ms,
+                )
+            )
+            self._pending_target = None
+            self._pending_dispatch = None
+        else:
+            raise ValueError(f"unrecognized looper logging line: {line!r}")
+
+    def attach(self, looper):
+        """Install this monitor on a looper; returns self for chaining."""
+        looper.set_message_logging(self.printer)
+        return self
+
+    def response_times(self):
+        """Response times (ms) of all completed events, in order."""
+        return [timing.response_time_ms for timing in self.timings]
+
+    def max_response_time(self):
+        """The action-level response time: max over input events."""
+        if not self.timings:
+            return 0.0
+        return max(self.response_times())
+
+    def hangs(self, threshold_ms=100.0):
+        """Timings of events exceeding *threshold_ms*."""
+        return [t for t in self.timings if t.response_time_ms > threshold_ms]
+
+    def reset(self):
+        """Clear timings between actions."""
+        self.timings.clear()
+        self._pending_target = None
+        self._pending_dispatch = None

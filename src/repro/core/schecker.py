@@ -1,0 +1,72 @@
+"""Phase 1: the S-Checker soft-hang-bug symptom filter.
+
+Invoked for Uncategorized actions.  If the action's response time
+exceeds the perceivable delay, the filter compares each monitored
+performance event's main−render difference with its threshold; the
+action shows soft-hang-bug *symptoms* if **any** condition fires
+(paper §3.3.1: "if at least one of the above three conditions is
+verified").  Symptomatic actions become Suspicious for the Diagnoser;
+the rest are UI work and become Normal.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.event_monitor import PerformanceEventMonitor
+from repro.sim.engine import NETWORK_BYTES_EVENT
+from repro.sim.timeline import MAIN_THREAD
+
+
+@dataclass(frozen=True)
+class SymptomCheck:
+    """Result of one S-Checker evaluation."""
+
+    #: Measured main−render differences per event.
+    values: Dict[str, float]
+    #: Which event conditions fired (value strictly above threshold).
+    fired: Dict[str, bool]
+
+    @property
+    def symptomatic(self):
+        """True if any condition fired."""
+        return any(self.fired.values())
+
+    def fired_events(self):
+        """Names of the events whose condition fired."""
+        return [event for event, hit in self.fired.items() if hit]
+
+
+class SChecker:
+    """Lightweight first-phase symptom checker."""
+
+    def __init__(self, config, device, seed=0):
+        self.config = config
+        self.monitor = PerformanceEventMonitor(
+            device, config.filter_events(), seed=seed
+        )
+
+    def check(self, execution):
+        """Evaluate the filter over a whole action execution."""
+        values = self.monitor.read_differences(execution)
+        if self.config.network_threshold_bytes is not None:
+            # Footnote-2 extension: main-thread network activity during
+            # the action is a symptom on its own (network never belongs
+            # on the main thread).
+            values = dict(values)
+            values[NETWORK_BYTES_EVENT] = execution.timeline.total(
+                MAIN_THREAD, NETWORK_BYTES_EVENT,
+                execution.start_ms, execution.end_ms,
+            )
+        return self.evaluate(values)
+
+    def evaluate(self, values):
+        """Apply thresholds to already-measured differences."""
+        fired = {}
+        for event, threshold in self.config.filter_thresholds.items():
+            fired[event] = values.get(event, 0.0) > threshold
+        if self.config.network_threshold_bytes is not None:
+            fired[NETWORK_BYTES_EVENT] = (
+                values.get(NETWORK_BYTES_EVENT, 0.0)
+                > self.config.network_threshold_bytes
+            )
+        return SymptomCheck(values=dict(values), fired=fired)

@@ -1,0 +1,128 @@
+"""Phase 2b: stack-trace analysis (root-cause attribution).
+
+The Trace Analyzer finds the operation responsible for a soft hang by
+its **occurrence factor** — the fraction of the collected stack traces
+that contain it:
+
+* If one API's occurrence factor is high (>= the configured
+  threshold), that API is the root cause (paper Figure 1: camera
+  ``open`` appears in ~60 % of the traces; Figure 6: HtmlCleaner
+  ``clean`` in 96 %).
+* Otherwise the hang is spread across many light calls, and the most
+  common *caller* function — the self-developed operation driving them
+  — is blamed instead.
+
+The root cause is then classified: frames in UI classes (View, Widget,
+...) are legitimate UI work; anything else on the main thread could be
+moved off it and is a soft hang bug.  Self-developed operations are
+told apart from library/platform APIs by their class prefix (the app's
+own package), because they are reported to the developer but never
+added to the known-blocking-API database.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.api import is_ui_class
+from repro.base.frames import Frame, occurrence_factor
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """Outcome of analyzing one hang's stack traces."""
+
+    #: Root-cause frame (None when every sampled stack was idle).
+    root: Optional[Frame]
+    #: Occurrence factor of the root across the collected traces.
+    occurrence: float
+    #: True when the root cause is UI work that must stay on the main
+    #: thread (i.e. the hang is NOT a soft hang bug).
+    is_ui: bool
+    #: True when the root cause is a self-developed operation (heavy
+    #: loop / caller function) rather than a platform or library API.
+    is_self_developed: bool
+    #: Number of traces analyzed.
+    trace_count: int
+    #: The caller frame most often found directly above the root — it
+    #: pins the exact call *site* when the same API is invoked from
+    #: several places in the app.
+    caller: Optional[Frame] = None
+
+    @property
+    def is_hang_bug(self):
+        """True when a non-UI root cause was attributed."""
+        return self.root is not None and not self.is_ui
+
+
+class TraceAnalyzer:
+    """Occurrence-factor root-cause analysis."""
+
+    def __init__(self, occurrence_threshold=0.5, app_package=None):
+        if not 0.0 < occurrence_threshold <= 1.0:
+            raise ValueError("occurrence_threshold must be in (0, 1]")
+        self.occurrence_threshold = occurrence_threshold
+        self.app_package = app_package
+
+    def analyze(self, traces):
+        """Attribute the root cause of one hang from its stack traces."""
+        non_idle = [trace for trace in traces if trace.frames]
+        if not traces or not non_idle:
+            return Diagnosis(
+                root=None, occurrence=0.0, is_ui=False,
+                is_self_developed=False, trace_count=len(traces),
+            )
+
+        leaf_counts = Counter(trace.leaf for trace in non_idle)
+        top_leaf, _ = leaf_counts.most_common(1)[0]
+        top_occurrence = occurrence_factor(traces, top_leaf)
+
+        if top_occurrence >= self.occurrence_threshold:
+            root = top_leaf
+        else:
+            # Hang spread over many light calls: blame the most common
+            # caller function (the frame above the leaf) instead.
+            root = self._dominant_caller(non_idle, traces) or top_leaf
+            top_occurrence = occurrence_factor(traces, root)
+
+        return Diagnosis(
+            root=root,
+            occurrence=top_occurrence,
+            is_ui=is_ui_class(root.clazz),
+            is_self_developed=self._is_self_developed(root),
+            trace_count=len(traces),
+            caller=self._caller_of(root, non_idle),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _dominant_caller(self, non_idle, all_traces):
+        """Most frequent caller frame with a high occurrence factor."""
+        caller_counts = Counter()
+        for trace in non_idle:
+            if len(trace.frames) >= 2:
+                caller_counts[trace.frames[-2]] += 1
+        for caller, _ in caller_counts.most_common():
+            if occurrence_factor(all_traces, caller) >= self.occurrence_threshold:
+                return caller
+        return None
+
+    def _is_self_developed(self, frame):
+        """True when *frame* belongs to the app's own code."""
+        if self.app_package is None:
+            return False
+        return frame.clazz.startswith(self.app_package)
+
+    @staticmethod
+    def _caller_of(root, non_idle):
+        """Most common frame directly above *root* across the traces."""
+        callers = Counter()
+        for trace in non_idle:
+            frames = trace.frames
+            for index in range(len(frames) - 1, 0, -1):
+                if frames[index] == root:
+                    callers[frames[index - 1]] += 1
+                    break
+        if not callers:
+            return None
+        return callers.most_common(1)[0][0]

@@ -1,0 +1,43 @@
+"""Phase 2a: stack-trace collection during soft hangs.
+
+When the Diagnoser sees the 100 ms timeout violated again, it samples
+the main thread's stack until the end of the soft hang.  Collection is
+the expensive part of runtime diagnosis — every sample unwinds and
+serializes the stack — so the collector also counts samples for the
+overhead model.
+"""
+
+from repro.sim.stacktrace import StackTraceSampler
+from repro.sim.timeline import MAIN_THREAD
+
+
+class TraceCollector:
+    """Collects main-thread stack traces over hang windows."""
+
+    def __init__(self, period_ms=20.0):
+        self.sampler = StackTraceSampler(period_ms=period_ms)
+        #: Total stack-trace samples taken (overhead accounting).
+        self.samples_collected = 0
+
+    def collect(self, execution, event_execution):
+        """Sample the main thread for the duration of one hang event.
+
+        Collection starts when the timeout is violated — 100 ms into
+        the event's processing — and runs "until the end of the soft
+        hang" (the event's finish).
+        """
+        start = event_execution.dispatch_ms
+        end = event_execution.finish_ms
+        traces = self.sampler.sample(
+            execution.timeline, MAIN_THREAD, start, end
+        )
+        self.samples_collected += len(traces)
+        return traces
+
+    def collect_window(self, execution, start_ms, end_ms):
+        """Sample an arbitrary window (used by baseline detectors)."""
+        traces = self.sampler.sample(
+            execution.timeline, MAIN_THREAD, start_ms, end_ms
+        )
+        self.samples_collected += len(traces)
+        return traces

@@ -1,0 +1,43 @@
+"""Runtime and offline detectors.
+
+Hang Doctor's baselines from the paper's §4.1: Timeout-based (TI),
+Utilization-based with low/high thresholds (UTL/UTH), their
+combinations with the timeout (UTL+TI / UTH+TI), and a
+PerfChecker-style offline source scanner.  All runtime detectors share
+the :class:`~repro.detectors.base.Detector` interface and are driven
+over identical app sessions by :mod:`repro.detectors.runner`, with
+their monitoring activity metered for the overhead model.
+"""
+
+from repro.detectors.base import (
+    ActionOutcome,
+    Detection,
+    Detector,
+    MonitoringCost,
+)
+from repro.detectors.offline import OfflineDetection, OfflineScanner
+from repro.detectors.runner import DetectorRun, run_detector, run_detectors
+from repro.detectors.timeout import TimeoutDetector
+from repro.detectors.watchdog import WatchdogDetector
+from repro.detectors.utilization import (
+    UtilizationDetector,
+    UtilizationThresholds,
+    fit_thresholds,
+)
+
+__all__ = [
+    "ActionOutcome",
+    "Detection",
+    "Detector",
+    "DetectorRun",
+    "MonitoringCost",
+    "OfflineDetection",
+    "OfflineScanner",
+    "TimeoutDetector",
+    "UtilizationDetector",
+    "WatchdogDetector",
+    "UtilizationThresholds",
+    "fit_thresholds",
+    "run_detector",
+    "run_detectors",
+]

@@ -1,0 +1,109 @@
+"""Shared runtime-detector interface.
+
+A runtime detector observes one :class:`~repro.sim.engine.ActionExecution`
+at a time (in session order) and returns an :class:`ActionOutcome`:
+what it detected, whether it paid for stack-trace collection on this
+execution, and the monitoring activity it performed (metered for the
+overhead model; see :mod:`repro.analysis.overhead`).
+
+Detectors never read ground-truth labels — they see only response
+times, counter readings, utilization samples, and stack traces, the
+same observables a real phone exposes.
+"""
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.base.frames import Frame
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One reported potential soft hang bug."""
+
+    detector: str
+    app_name: str
+    action_name: str
+    time_ms: float
+    response_time_ms: float
+    #: Root-cause frame from trace analysis (None if the detector only
+    #: flags the action without attribution).
+    root: Optional[Frame] = None
+    #: Caller frame above the root (pins the exact call site when the
+    #: same API is invoked from several places).
+    caller: Optional[Frame] = None
+    #: Occurrence factor of the root across the collected traces.
+    occurrence: float = 0.0
+    #: Trace analysis classified the root as UI work.  Hang Doctor
+    #: suppresses such detections; baselines report them (their false
+    #: positives).
+    root_is_ui: bool = False
+    #: Root cause is a self-developed operation (heavy loop).
+    is_self_developed: bool = False
+
+    @property
+    def root_name(self):
+        """Qualified name of the blamed operation, if attributed."""
+        return self.root.qualified_name if self.root is not None else None
+
+
+@dataclass
+class MonitoringCost:
+    """Metered monitoring activity of a detector."""
+
+    #: Input events whose dispatch/finish times were recorded.
+    rt_events: int = 0
+    #: Milliseconds of execution monitored with performance counters.
+    counter_window_ms: float = 0.0
+    #: End-of-action counter reads.
+    counter_reads: int = 0
+    #: Periodic /proc utilization samples taken.
+    util_samples: int = 0
+    #: Stack-trace samples collected.
+    trace_samples: int = 0
+    #: Trace-analysis runs.
+    analyses: int = 0
+
+    def add(self, other):
+        """Accumulate another cost record into this one."""
+        self.rt_events += other.rt_events
+        self.counter_window_ms += other.counter_window_ms
+        self.counter_reads += other.counter_reads
+        self.util_samples += other.util_samples
+        self.trace_samples += other.trace_samples
+        self.analyses += other.analyses
+        return self
+
+
+@dataclass
+class ActionOutcome:
+    """A detector's result for one action execution."""
+
+    detections: List[Detection] = field(default_factory=list)
+    #: Windows (start_ms, end_ms) the detector collected stack traces
+    #: over.  The metrics layer scores each episode against ground
+    #: truth: an episode covering a bug hang is a true positive; every
+    #: other episode is a false positive (the unit the paper's Figure
+    #: 8(a,b) counts, normalized to TI).
+    trace_episodes: List[Tuple[float, float]] = field(default_factory=list)
+    cost: MonitoringCost = field(default_factory=MonitoringCost)
+
+    @property
+    def traced(self):
+        """True if any stack traces were collected on this execution."""
+        return bool(self.trace_episodes)
+
+
+class Detector(abc.ABC):
+    """Base class for runtime detectors."""
+
+    #: Short display name (e.g. "TI", "UTL+TI", "HD").
+    name = "detector"
+
+    @abc.abstractmethod
+    def process(self, execution, device_id=0):
+        """Observe one action execution; returns an ActionOutcome."""
+
+    def reset(self):
+        """Forget per-session state (default: nothing to forget)."""

@@ -1,0 +1,68 @@
+"""Detector runner.
+
+Drives one or more runtime detectors over an identical sequence of
+action executions (the paper: "we use the same app user traces to test
+Hang Doctor and the baselines"), aggregating detections, traced-hang
+outcomes, and monitoring costs.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.metrics import traced_confusion
+from repro.analysis.overhead import OverheadModel, app_baseline
+from repro.detectors.base import MonitoringCost
+
+
+@dataclass
+class DetectorRun:
+    """Aggregated result of one detector over one session."""
+
+    detector_name: str
+    executions: List = field(default_factory=list)
+    outcomes: List = field(default_factory=list)
+    cost: MonitoringCost = field(default_factory=MonitoringCost)
+
+    @property
+    def detections(self):
+        """All detections, in session order."""
+        return [d for outcome in self.outcomes for d in outcome.detections]
+
+    @property
+    def traced_count(self):
+        """Number of executions the detector collected traces for."""
+        return sum(1 for outcome in self.outcomes if outcome.traced)
+
+    def confusion(self):
+        """Figure 8-style traced-hang confusion counts."""
+        return traced_confusion(self.executions, self.outcomes)
+
+    def overhead(self, model=None):
+        """Overhead percentages for this run."""
+        model = model or OverheadModel()
+        cpu_ms, mem_kb = app_baseline(self.executions)
+        return model.overhead(self.cost, cpu_ms, mem_kb)
+
+
+def run_detector(detector, executions, device_id=0):
+    """Feed *executions* (in order) to one detector."""
+    run = DetectorRun(detector_name=detector.name)
+    for execution in executions:
+        outcome = detector.process(execution, device_id=device_id)
+        run.executions.append(execution)
+        run.outcomes.append(outcome)
+        run.cost.add(outcome.cost)
+    return run
+
+
+def run_detectors(detectors, executions, device_id=0):
+    """Run several detectors over the same executions.
+
+    Returns ``{detector.name: DetectorRun}``.
+    """
+    results: Dict[str, DetectorRun] = {}
+    for detector in detectors:
+        results[detector.name] = run_detector(
+            detector, executions, device_id=device_id
+        )
+    return results

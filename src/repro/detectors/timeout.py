@@ -1,0 +1,66 @@
+"""Timeout-based detector (TI).
+
+The state of the art the paper compares against (Android's ANR tool,
+Jovic et al.): flag a potential soft hang bug whenever an input
+event's response time exceeds a timeout, and collect stack traces for
+the duration of every flagged hang.  With the ANR default of 5 s it
+misses nearly every soft hang; at the 100 ms perceivable delay it
+catches them all but traces every slow UI action too (Table 2), which
+is both its false-positive problem and its overhead problem.
+
+TI performs trace analysis to attribute a root cause but — unlike
+Hang Doctor — reports the result unfiltered: hangs rooted in UI work
+become false-positive reports.
+"""
+
+from repro.core.trace_analyzer import TraceAnalyzer
+from repro.core.trace_collector import TraceCollector
+from repro.detectors.base import ActionOutcome, Detection, Detector
+
+
+class TimeoutDetector(Detector):
+    """Flag and trace every input event slower than ``timeout_ms``."""
+
+    def __init__(self, app, timeout_ms=100.0, trace_period_ms=20.0,
+                 occurrence_threshold=0.5):
+        self.app = app
+        self.timeout_ms = timeout_ms
+        self.collector = TraceCollector(period_ms=trace_period_ms)
+        self.analyzer = TraceAnalyzer(
+            occurrence_threshold=occurrence_threshold,
+            app_package=app.package,
+        )
+        self.name = f"TI-{int(timeout_ms)}ms" if timeout_ms != 100.0 else "TI"
+
+    def process(self, execution, device_id=0):
+        outcome = ActionOutcome()
+        outcome.cost.rt_events = len(execution.events)
+        for event_execution in execution.events:
+            rt = event_execution.response_time_ms
+            if rt <= self.timeout_ms:
+                continue
+            before = self.collector.samples_collected
+            traces = self.collector.collect(execution, event_execution)
+            outcome.cost.trace_samples += (
+                self.collector.samples_collected - before
+            )
+            diagnosis = self.analyzer.analyze(traces)
+            outcome.cost.analyses += 1
+            outcome.trace_episodes.append(
+                (event_execution.dispatch_ms, event_execution.finish_ms)
+            )
+            outcome.detections.append(
+                Detection(
+                    detector=self.name,
+                    app_name=self.app.name,
+                    action_name=execution.action.name,
+                    time_ms=execution.end_ms,
+                    response_time_ms=rt,
+                    root=diagnosis.root,
+                    caller=diagnosis.caller,
+                    occurrence=diagnosis.occurrence,
+                    root_is_ui=diagnosis.is_ui,
+                    is_self_developed=diagnosis.is_self_developed,
+                )
+            )
+        return outcome

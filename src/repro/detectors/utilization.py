@@ -1,0 +1,191 @@
+"""Utilization-based detectors (UT, UT+TI).
+
+Baselines modelled on server/desktop hang detectors (Pelleg et al.,
+Zhu et al.): periodically sample the main thread's resource
+utilizations — CPU share and memory traffic, as read from
+``/proc/<pid>/stat`` and ``io`` every 100 ms — and flag a potential
+soft hang bug when any utilization crosses a static threshold.
+
+Two threshold settings bracket the design space (paper §4.1):
+
+* **UTL** (low): the minimum utilization ever observed during a true
+  bug hang.  Catches every bug but fires on ordinary busy UI work
+  constantly — 8-22x the false positives of TI.
+* **UTH** (high): 90 % of the peak utilization observed during bug
+  hangs.  Near-zero false positives but misses ~62 % of the bugs.
+
+``UT+TI`` gates sampling on the 100 ms timeout: utilizations are read
+only *during soft hangs*, and a detection needs both the timeout and a
+threshold crossing.  Cheaper, but it still lacks the render-thread
+contrast that lets Hang Doctor's event filter tell bug hangs from
+heavy UI hangs.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.trace_analyzer import TraceAnalyzer
+from repro.core.trace_collector import TraceCollector
+from repro.detectors.base import ActionOutcome, Detection, Detector
+from repro.sim.timeline import MAIN_THREAD
+
+#: Sampling period of the periodic monitor (paper: every 100 ms).
+SAMPLE_PERIOD_MS = 100.0
+
+#: The monitored utilizations.
+CPU_METRIC = "cpu_share"
+MEM_METRIC = "fault_rate"
+
+
+def window_metrics(execution, start_ms, end_ms):
+    """Main-thread utilizations over one sampling window.
+
+    ``cpu_share``: CPU ms per wall ms (0..1).  ``fault_rate``: page
+    faults per 100 ms of wall time (memory traffic proxy).
+    """
+    span = max(1e-9, end_ms - start_ms)
+    cpu = execution.timeline.cpu_ms(MAIN_THREAD, start_ms, end_ms) / span
+    faults = execution.timeline.total(
+        MAIN_THREAD, "page-faults", start_ms, end_ms
+    )
+    return {CPU_METRIC: cpu, MEM_METRIC: faults * (100.0 / span)}
+
+
+@dataclass(frozen=True)
+class UtilizationThresholds:
+    """Static per-metric thresholds."""
+
+    values: Dict[str, float]
+
+    def crossed(self, metrics):
+        """True if any metric strictly exceeds its threshold."""
+        return any(
+            metrics.get(metric, 0.0) > threshold
+            for metric, threshold in self.values.items()
+        )
+
+
+def fit_thresholds(training_windows, level):
+    """Fit UTL ("low") or UTH ("high") thresholds from bug-hang windows.
+
+    *training_windows* is a list of per-window metric dicts sampled
+    during known bug hangs.  Low = the minimum observed (everything a
+    bug ever did crosses it); high = 90 % of the peak.
+    """
+    if level not in ("low", "high"):
+        raise ValueError(f"level must be 'low' or 'high', got {level!r}")
+    if not training_windows:
+        raise ValueError("no training windows")
+    values = {}
+    for metric in (CPU_METRIC, MEM_METRIC):
+        observed = [window[metric] for window in training_windows]
+        if level == "low":
+            values[metric] = min(observed)
+        else:
+            values[metric] = 0.9 * max(observed)
+    return UtilizationThresholds(values=values)
+
+
+class UtilizationDetector(Detector):
+    """UT (periodic) or UT+TI (hang-gated) utilization detector."""
+
+    def __init__(self, app, thresholds, combine_timeout=False,
+                 timeout_ms=100.0, trace_period_ms=20.0, label="UT"):
+        self.app = app
+        self.thresholds = thresholds
+        self.combine_timeout = combine_timeout
+        self.timeout_ms = timeout_ms
+        self.collector = TraceCollector(period_ms=trace_period_ms)
+        self.analyzer = TraceAnalyzer(app_package=app.package)
+        self.name = label
+        self._last_end_ms = None
+
+    def reset(self):
+        self._last_end_ms = None
+
+    def process(self, execution, device_id=0):
+        outcome = ActionOutcome()
+        outcome.cost.rt_events = len(execution.events)
+        if self.combine_timeout:
+            self._process_hang_gated(execution, outcome)
+        else:
+            self._process_periodic(execution, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _sample_windows(self, execution, start_ms, end_ms, outcome):
+        """Walk 100 ms windows; returns those crossing a threshold."""
+        crossed = []
+        cursor = start_ms
+        while cursor < end_ms:
+            window_end = min(cursor + SAMPLE_PERIOD_MS, end_ms)
+            metrics = window_metrics(execution, cursor, window_end)
+            outcome.cost.util_samples += 1
+            if self.thresholds.crossed(metrics):
+                crossed.append((cursor, window_end))
+            cursor = window_end
+        return crossed
+
+    def _trace_and_report(self, execution, start_ms, end_ms, rt, outcome):
+        before = self.collector.samples_collected
+        traces = self.collector.collect_window(execution, start_ms, end_ms)
+        outcome.cost.trace_samples += self.collector.samples_collected - before
+        diagnosis = self.analyzer.analyze(traces)
+        outcome.cost.analyses += 1
+        outcome.trace_episodes.append((start_ms, end_ms))
+        outcome.detections.append(
+            Detection(
+                detector=self.name,
+                app_name=self.app.name,
+                action_name=execution.action.name,
+                time_ms=execution.end_ms,
+                response_time_ms=rt,
+                root=diagnosis.root,
+                caller=diagnosis.caller,
+                occurrence=diagnosis.occurrence,
+                root_is_ui=diagnosis.is_ui,
+                is_self_developed=diagnosis.is_self_developed,
+            )
+        )
+
+    def _process_periodic(self, execution, outcome):
+        """Pure UT: the monitor runs continuously — it also burned
+        samples on the idle gap since the previous action (all below
+        threshold, but they cost CPU) — and every in-action sampling
+        window that crosses a threshold is one detection: traces are
+        dumped for that window, again and again while the alarm holds.
+        """
+        monitored_end = max(execution.end_ms, execution.timeline.end_ms)
+        if self._last_end_ms is not None:
+            idle_ms = max(0.0, execution.start_ms - self._last_end_ms)
+            outcome.cost.util_samples += int(idle_ms / SAMPLE_PERIOD_MS)
+        self._last_end_ms = monitored_end
+        crossed = self._sample_windows(
+            execution, execution.start_ms, monitored_end, outcome
+        )
+        for span_start, span_end in crossed:
+            self._trace_and_report(
+                execution, span_start, span_end,
+                rt=execution.response_time_ms, outcome=outcome,
+            )
+
+    def _process_hang_gated(self, execution, outcome):
+        """UT+TI: sample only during soft hangs; need both conditions.
+
+        Sampling starts once the timeout has fired — i.e. 100 ms into
+        the event's processing — so short hangs cost a single sample.
+        """
+        for event_execution in execution.events:
+            rt = event_execution.response_time_ms
+            if rt <= self.timeout_ms:
+                continue
+            crossed = self._sample_windows(
+                execution, event_execution.dispatch_ms + self.timeout_ms,
+                event_execution.finish_ms, outcome,
+            )
+            if crossed:
+                self._trace_and_report(
+                    execution, event_execution.dispatch_ms,
+                    event_execution.finish_ms, rt=rt, outcome=outcome,
+                )

@@ -1,0 +1,99 @@
+"""Watchdog-thread baseline (BlockCanary / ANR-WatchDog style).
+
+The popular open-source tools the paper's family of work competes
+with use a *watchdog thread*: post a no-op to the main looper every
+``interval_ms``; if it hasn't executed after ``block_threshold_ms``,
+declare the main thread blocked and dump one stack trace.
+
+Two structural weaknesses versus Looper-instrumented detection (TI)
+and Hang Doctor, both visible in our benchmarks:
+
+* **Sampling misses**: a hang is seen only if a ping lands at least
+  ``block_threshold_ms`` before it ends — short hangs slip between
+  pings (detection probability ≈ (hang − threshold) / interval).
+* **Single-dump attribution**: one stack trace at the moment the
+  threshold fires, instead of sampling for the hang's duration; the
+  blamed frame is whatever happened to be running right then, with no
+  occurrence factor to back it.
+"""
+
+from repro.core.trace_analyzer import TraceAnalyzer
+from repro.detectors.base import ActionOutcome, Detection, Detector
+from repro.sim.stacktrace import StackTrace
+from repro.sim.timeline import MAIN_THREAD
+
+
+class WatchdogDetector(Detector):
+    """Ping the main thread; dump one stack on a blocked ping."""
+
+    def __init__(self, app, block_threshold_ms=1000.0, interval_ms=1000.0,
+                 occurrence_threshold=0.5):
+        if block_threshold_ms <= 0 or interval_ms <= 0:
+            raise ValueError("threshold and interval must be positive")
+        self.app = app
+        self.block_threshold_ms = block_threshold_ms
+        self.interval_ms = interval_ms
+        self.analyzer = TraceAnalyzer(
+            occurrence_threshold=occurrence_threshold,
+            app_package=app.package,
+        )
+        self.name = f"WD-{int(block_threshold_ms)}ms"
+        #: Absolute time of the next ping (persists across executions,
+        #: like a real watchdog thread).
+        self._next_ping_ms = 0.0
+
+    def reset(self):
+        """Restart the ping schedule."""
+        self._next_ping_ms = 0.0
+
+    def process(self, execution, device_id=0):
+        outcome = ActionOutcome()
+        if self._next_ping_ms < execution.start_ms:
+            self._align_schedule(execution.start_ms)
+        for event_execution in execution.events:
+            self._process_event(execution, event_execution, outcome)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _align_schedule(self, now_ms):
+        periods = int(max(0.0, now_ms - self._next_ping_ms)
+                      // self.interval_ms) + 1
+        self._next_ping_ms += periods * self.interval_ms
+
+    def _process_event(self, execution, event_execution, outcome):
+        """Ping during one input event's busy window."""
+        busy_start = event_execution.dispatch_ms
+        busy_end = event_execution.finish_ms
+        while self._next_ping_ms < busy_end:
+            ping = self._next_ping_ms
+            self._next_ping_ms += self.interval_ms
+            if ping < busy_start:
+                continue
+            # The ping executes when the main thread frees up.
+            delay = busy_end - ping
+            if delay < self.block_threshold_ms:
+                continue
+            dump_ms = ping + self.block_threshold_ms
+            frames = execution.timeline.stack_at(MAIN_THREAD, dump_ms)
+            trace = StackTrace(time_ms=dump_ms, frames=frames)
+            outcome.cost.trace_samples += 1
+            outcome.cost.analyses += 1
+            outcome.trace_episodes.append((dump_ms, dump_ms + 1.0))
+            diagnosis = self.analyzer.analyze([trace])
+            outcome.detections.append(
+                Detection(
+                    detector=self.name,
+                    app_name=execution.app.name,
+                    action_name=execution.action.name,
+                    time_ms=dump_ms,
+                    response_time_ms=event_execution.response_time_ms,
+                    root=diagnosis.root,
+                    caller=diagnosis.caller,
+                    occurrence=diagnosis.occurrence,
+                    root_is_ui=diagnosis.is_ui,
+                    is_self_developed=diagnosis.is_self_developed,
+                )
+            )
+        # Account for the idle pings themselves (cheap, but counted).
+        outcome.cost.rt_events += len(execution.events)

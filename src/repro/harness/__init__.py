@@ -1,0 +1,28 @@
+"""Experiment harness.
+
+One module per experiment family, each exposing functions that
+regenerate a paper table or figure as structured data plus an ASCII
+rendering.  The benchmark suite under ``benchmarks/`` is a thin shell
+around these functions; ``EXPERIMENTS.md`` records paper-vs-measured
+for each.
+"""
+
+from repro.harness.tables import render_table
+from repro.harness.training import (
+    TRAINING_BUG_SITES,
+    build_ui_probe_app,
+    collect_training_samples,
+    training_bug_cases,
+    training_ui_cases,
+    validation_bug_cases,
+)
+
+__all__ = [
+    "TRAINING_BUG_SITES",
+    "build_ui_probe_app",
+    "collect_training_samples",
+    "render_table",
+    "training_bug_cases",
+    "training_ui_cases",
+    "validation_bug_cases",
+]

@@ -1,0 +1,202 @@
+"""Case-study experiments: Figures 6 and 7 (K9-mail walk-throughs).
+
+Figure 6: how Hang Doctor finds the root cause of K9-mail's Open-email
+hang — S-Checker flags the first manifested hang (positive
+context-switch difference), and on the next manifestation the
+Diagnoser's stack traces pin ``HtmlCleaner.clean`` with a ~96 %
+occurrence factor.
+
+Figure 7: state transitioning on UI actions — Folders is filtered to
+Normal by S-Checker on its first hang; Inbox (bug-like symptoms)
+becomes Suspicious, costs one stack-trace collection, is cleared to
+Normal by the Diagnoser, and is never traced again.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.hang_doctor import HangDoctor
+from repro.core.states import ActionState
+from repro.apps.catalog import get_app
+from repro.sim.engine import ExecutionEngine
+
+
+@dataclass
+class Figure6Result:
+    """The detection story of one soft hang bug."""
+
+    action_name: str
+    #: Execution index (1-based) where S-Checker flagged the action.
+    schecker_execution: int
+    schecker_response_ms: float
+    schecker_values: dict
+    #: Execution index where the Diagnoser confirmed the bug.
+    diagnoser_execution: int
+    diagnoser_response_ms: float
+    root_operation: str
+    root_file: str
+    root_line: int
+    occurrence_factor: float
+    traces_collected: int
+    sample_trace: str
+
+    def render(self):
+        """Narrative rendering of the walk-through."""
+        values = ", ".join(
+            f"{event}={value:.3g}" for event, value in
+            self.schecker_values.items()
+        )
+        return (
+            f"Figure 6 - K9-mail '{self.action_name}' runtime diagnosis\n"
+            f"execution #{self.schecker_execution}: soft hang of "
+            f"{self.schecker_response_ms:.0f} ms; S-Checker reads {values} "
+            f"-> Suspicious\n"
+            f"execution #{self.diagnoser_execution}: soft hang of "
+            f"{self.diagnoser_response_ms:.0f} ms; Diagnoser collects "
+            f"{self.traces_collected} stack traces\n"
+            f"root cause: {self.root_operation} "
+            f"({self.root_file}:{self.root_line}), occurrence factor "
+            f"{self.occurrence_factor:.0%}\n"
+            f"sample stack trace: {self.sample_trace}"
+        )
+
+
+def figure6(device, seed=0, max_executions=40):
+    """Reproduce Figure 6's detection walk-through on K9-mail."""
+    app = get_app("K9-mail")
+    action = app.action("open_email")
+    engine = ExecutionEngine(device, seed=seed)
+    doctor = HangDoctor(app, device, seed=seed)
+
+    schecker_execution = None
+    schecker_rt = 0.0
+    schecker_values = {}
+    for index in range(1, max_executions + 1):
+        execution = engine.run_action(app, action)
+        state_before = doctor.state_of("open_email")
+        outcome = doctor.process(execution)
+        state_after = doctor.state_of("open_email")
+
+        if (state_before is ActionState.UNCATEGORIZED
+                and state_after is ActionState.SUSPICIOUS):
+            schecker_execution = index
+            schecker_rt = execution.response_time_ms
+            schecker_values = doctor.schecker.check(execution).values
+
+        if outcome.detections:
+            detection = outcome.detections[0]
+            traces = doctor.diagnoser.collector.sampler.sample(
+                execution.timeline, "main",
+                execution.events[0].dispatch_ms,
+                execution.events[0].finish_ms,
+            )
+            non_idle = [t for t in traces if t.frames]
+            sample = str(non_idle[0]) if non_idle else "<idle>"
+            return Figure6Result(
+                action_name=action.name,
+                schecker_execution=schecker_execution or index,
+                schecker_response_ms=schecker_rt,
+                schecker_values=schecker_values,
+                diagnoser_execution=index,
+                diagnoser_response_ms=detection.response_time_ms,
+                root_operation=detection.root.qualified_name,
+                root_file=detection.root.file,
+                root_line=detection.root.line,
+                occurrence_factor=detection.occurrence,
+                traces_collected=outcome.cost.trace_samples,
+                sample_trace=sample,
+            )
+    raise RuntimeError(
+        "Hang Doctor did not confirm the K9-mail bug within "
+        f"{max_executions} executions"
+    )
+
+
+@dataclass
+class Figure7Step:
+    """One executed action in the Figure 7 trace."""
+
+    index: int
+    action_name: str
+    response_ms: float
+    component: str
+    traced: bool
+    state_after: str
+
+
+@dataclass
+class Figure7Result:
+    """State-transition trace over K9-mail's Folders/Inbox actions."""
+
+    steps: List[Figure7Step]
+
+    def traces_for(self, action_name):
+        """How many executions of one action were stack-traced."""
+        return sum(
+            1 for step in self.steps
+            if step.action_name == action_name and step.traced
+        )
+
+    def final_state(self, action_name):
+        """Last observed state letter (U/N/S/H) of one action."""
+        states = [
+            step.state_after for step in self.steps
+            if step.action_name == action_name
+        ]
+        return states[-1] if states else None
+
+    def render(self):
+        """ASCII rendering of the result."""
+        lines = ["Figure 7 - K9-mail UI actions: state transitioning"]
+        for step in self.steps:
+            traced = " traced" if step.traced else ""
+            lines.append(
+                f"  #{step.index:02d} {step.action_name:8s} "
+                f"rt={step.response_ms:6.0f}ms  {step.component:9s} "
+                f"-> {step.state_after}{traced}"
+            )
+        lines.append(
+            f"stack-trace collections: folders={self.traces_for('folders')}, "
+            f"inbox={self.traces_for('inbox')}"
+        )
+        return "\n".join(lines)
+
+
+def figure7(device, seed=0, rounds=5, config=None):
+    """Reproduce Figure 7's Folders/Inbox transition trace.
+
+    Runs alternating Folders and Inbox executions until Inbox has been
+    through its Suspicious round-trip; Folders should be filtered to
+    Normal by S-Checker without any stack-trace collection.
+    """
+    app = get_app("K9-mail")
+    engine = ExecutionEngine(device, seed=seed)
+    doctor = HangDoctor(app, device, config=config, seed=seed)
+
+    steps = []
+    index = 0
+    for _ in range(rounds):
+        for name in ("folders", "inbox"):
+            index += 1
+            execution = engine.run_action(app, app.action(name))
+            before = doctor.state_of(name)
+            outcome = doctor.process(execution)
+            after = doctor.state_of(name)
+            if before is ActionState.UNCATEGORIZED and before != after:
+                component = "S-Checker"
+            elif before in (ActionState.SUSPICIOUS, ActionState.HANG_BUG) \
+                    and outcome.traced:
+                component = "Diagnoser"
+            else:
+                component = "-"
+            steps.append(
+                Figure7Step(
+                    index=index,
+                    action_name=name,
+                    response_ms=execution.response_time_ms,
+                    component=component,
+                    traced=outcome.traced,
+                    state_after=after.short,
+                )
+            )
+    return Figure7Result(steps=steps)

@@ -1,0 +1,311 @@
+"""Filter-design experiments: Tables 3-4, Figures 4-5.
+
+Table 3: Pearson correlation of all 46 events with soft hang bugs, in
+the main−render difference representation vs the main-thread-only one.
+
+Table 4: training-set sensitivity (75 % and 50 % subsets keep the top
+events stable).
+
+Figure 4: per-sample distributions of the three selected events with
+their thresholds, plus the fitted filter's training performance
+(paper: 100 % bug recall, 64 % of UI false positives pruned, 81 %
+accuracy).
+
+Figure 5: context-switch time series of main and render thread for a
+bug hang and a UI hang — the early part of a UI action looks bug-like,
+which is why S-Checker counts to the end of the action.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.correlation import correlate, ranked_events
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.analysis.thresholds import FilterFit, fit_filter
+from repro.core.config import HangDoctorConfig
+from repro.harness.tables import render_table
+from repro.harness.training import (
+    build_ui_probe_app,
+    collect_training_samples,
+    training_bug_cases,
+    training_ui_cases,
+)
+from repro.sim.engine import ExecutionEngine
+from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+
+def training_samples(device, seed=0, runs_per_case=10, mode="diff"):
+    """Labelled counter samples over the paper's training set."""
+    engine = ExecutionEngine(device, seed=seed)
+    cases = training_bug_cases() + training_ui_cases()
+    return collect_training_samples(
+        engine, cases, runs_per_case=runs_per_case, mode=mode
+    )
+
+
+@dataclass
+class Table3Result:
+    """Top-correlated events for both monitoring modes."""
+
+    diff_ranking: List[Tuple[str, float]]
+    main_ranking: List[Tuple[str, float]]
+
+    def top_average(self, mode="diff", k=10):
+        """Average coefficient of the top-*k* events of one mode."""
+        ranking = self.diff_ranking if mode == "diff" else self.main_ranking
+        return float(np.mean([c for _, c in ranking[:k]]))
+
+    def improvement_percent(self, k=10):
+        """How much the difference representation improves the top-k
+        average correlation (paper: ~14 %)."""
+        main = self.top_average("main", k)
+        diff = self.top_average("diff", k)
+        return 100.0 * (diff - main) / main if main else 0.0
+
+    def render(self, k=10):
+        """ASCII rendering of the top-*k* rows."""
+        rows = []
+        for index in range(k):
+            d_event, d_coef = self.diff_ranking[index]
+            m_event, m_coef = self.main_ranking[index]
+            rows.append((d_event, round(d_coef, 3), m_event, round(m_coef, 3)))
+        rows.append((
+            "AVERAGE", round(self.top_average("diff", k), 3),
+            "AVERAGE", round(self.top_average("main", k), 3),
+        ))
+        table = render_table(
+            ("event (main-render)", "corr", "event (main only)", "corr"),
+            rows, title="Table 3 - Top correlated performance events",
+        )
+        return (
+            f"{table}\n"
+            f"difference representation improves top-{k} average "
+            f"correlation by {self.improvement_percent(k):.1f}%"
+        )
+
+
+def table3(device, seed=0, runs_per_case=10):
+    """Reproduce Table 3's two correlation analyses."""
+    diff_samples = training_samples(device, seed, runs_per_case, mode="diff")
+    main_samples = training_samples(device, seed, runs_per_case, mode="main")
+    return Table3Result(
+        diff_ranking=ranked_events(correlate(diff_samples)),
+        main_ranking=ranked_events(correlate(main_samples)),
+    )
+
+
+@dataclass
+class Table4Result:
+    """Sensitivity of the ranking to training subsets."""
+
+    rankings: Dict[float, List[Tuple[str, float]]]
+
+    def top_events(self, fraction, k=5):
+        """Names of the top-*k* events for one training fraction."""
+        return [event for event, _ in self.rankings[fraction][:k]]
+
+    def stable_top_k(self, k=5):
+        """True if the top-*k* event set is identical across subsets."""
+        tops = [self.top_events(f, k) for f in self.rankings]
+        return all(set(top) == set(tops[0]) for top in tops)
+
+    def render(self, k=10):
+        """ASCII rendering of the top-*k* rows."""
+        fractions = sorted(self.rankings, reverse=True)
+        headers = ["rank"] + [f"{int(f * 100)}% set" for f in fractions]
+        rows = []
+        for index in range(k):
+            row = [index + 1]
+            for fraction in fractions:
+                event, coef = self.rankings[fraction][index]
+                row.append(f"{event} ({coef:.3f})")
+            rows.append(row)
+        table = render_table(
+            headers, rows, title="Table 4 - Training-set sensitivity"
+        )
+        return (
+            f"{table}\n"
+            f"top-5 event set stable across subsets: {self.stable_top_k(5)}"
+        )
+
+
+def table4(device, seed=0, runs_per_case=10, fractions=(1.0, 0.75, 0.5)):
+    """Reproduce Table 4's subset sensitivity analysis."""
+    samples = training_samples(device, seed, runs_per_case, mode="diff")
+    result = sensitivity_analysis(samples, fractions=fractions, seed=seed)
+    return Table4Result(
+        rankings={f: list(r) for f, r in result.rankings.items()}
+    )
+
+
+@dataclass
+class Figure4Result:
+    """Distribution + threshold statistics for the filter events."""
+
+    #: event -> (sorted bug values, sorted ui values)
+    distributions: Dict[str, Tuple[List[float], List[float]]]
+    thresholds: Dict[str, float]
+    #: event -> (bug exceedance rate, ui exceedance rate)
+    exceedance: Dict[str, Tuple[float, float]]
+    fitted: FilterFit
+    recall: float
+    prune_rate: float
+    accuracy: float
+
+    def render(self):
+        """ASCII rendering of the result."""
+        rows = []
+        for event, threshold in self.thresholds.items():
+            bug_rate, ui_rate = self.exceedance[event]
+            rows.append((
+                event, f"{threshold:.3g}",
+                f"{bug_rate:.0%}", f"{ui_rate:.0%}",
+            ))
+        table = render_table(
+            ("event", "threshold", "HB above", "UI above"), rows,
+            title="Figure 4 - Soft hang bug symptoms (main-render "
+                  "differences)",
+        )
+        fitted = ", ".join(
+            f"{event} > {value:.3g}"
+            for event, value in self.fitted.thresholds.items()
+        )
+        return (
+            f"{table}\n"
+            f"fitted filter        : {fitted}\n"
+            f"training bug recall  : {self.recall:.0%}\n"
+            f"UI false pos. pruned : {self.prune_rate:.0%}\n"
+            f"overall accuracy     : {self.accuracy:.0%}"
+        )
+
+
+def figure4(device, seed=0, runs_per_case=10, config=None):
+    """Reproduce Figure 4's distributions and the filter fit."""
+    config = config or HangDoctorConfig()
+    samples = training_samples(device, seed, runs_per_case, mode="diff")
+    ranking = ranked_events(correlate(samples))
+    fitted = fit_filter(samples, [event for event, _ in ranking])
+
+    distributions = {}
+    exceedance = {}
+    for event, threshold in config.filter_thresholds.items():
+        bug_values = sorted(
+            (s.values[event] for s in samples if s.is_hang_bug), reverse=True
+        )
+        ui_values = sorted(
+            (s.values[event] for s in samples if not s.is_hang_bug),
+            reverse=True,
+        )
+        distributions[event] = (bug_values, ui_values)
+        exceedance[event] = (
+            float(np.mean([v > threshold for v in bug_values])),
+            float(np.mean([v > threshold for v in ui_values])),
+        )
+
+    shipped = FilterFit(thresholds=dict(config.filter_thresholds))
+    tp, fp, fn, tn = shipped.confusion(samples)
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    return Figure4Result(
+        distributions=distributions,
+        thresholds=dict(config.filter_thresholds),
+        exceedance=exceedance,
+        fitted=fitted,
+        recall=recall,
+        prune_rate=shipped.false_positive_prune_rate(samples),
+        accuracy=shipped.accuracy(samples),
+    )
+
+
+@dataclass
+class Figure5Result:
+    """Context-switch time series for one bug hang and one UI hang."""
+
+    #: (time_s, main count, render count) per window.
+    bug_series: List[Tuple[float, float, float]]
+    ui_series: List[Tuple[float, float, float]]
+    #: Fraction of early windows (first 0.6 s) of the UI action where
+    #: the main-render difference is positive (bug-like).
+    ui_early_positive: float
+    #: Same over the whole action (should be low).
+    ui_total_positive: float
+
+    def render(self):
+        """ASCII rendering of the two series."""
+        def fmt(series):
+            return "  ".join(
+                f"{t:.1f}s:{int(m)}/{int(r)}" for t, m, r in series[:12]
+            )
+        return (
+            "Figure 5 - context-switch counts per 100 ms window "
+            "(main/render)\n"
+            f"  soft hang bug action: {fmt(self.bug_series)}\n"
+            f"  UI-API action       : {fmt(self.ui_series)}\n"
+            f"  UI windows with bug-like (positive) difference: "
+            f"{self.ui_early_positive:.0%} early vs "
+            f"{self.ui_total_positive:.0%} overall"
+        )
+
+
+def figure5(device, seed=0, window_ms=100.0):
+    """Reproduce Figure 5's main/render context-switch traces."""
+    engine = ExecutionEngine(device, seed=seed)
+
+    from repro.apps.catalog import get_app
+
+    k9 = get_app("K9-mail")  # Figure 6's app, as in the paper
+    bug_execution = _first_matching(
+        engine, k9, "open_email",
+        lambda ex: ex.has_soft_hang and ex.bug_caused_hang(),
+    )
+    probe = build_ui_probe_app()
+    ui_action_name = probe.actions[1].name  # inflate probe
+    ui_execution = _first_matching(
+        engine, probe, ui_action_name, lambda ex: ex.has_soft_hang
+    )
+
+    bug_series = _series(bug_execution, window_ms)
+    ui_series = _series(ui_execution, window_ms)
+    ui_span_s = (ui_execution.end_ms - ui_execution.start_ms) / 1000.0
+    early = [m - r for t, m, r in ui_series if t <= 0.4 * ui_span_s]
+    total = [m - r for _, m, r in ui_series]
+    return Figure5Result(
+        bug_series=bug_series,
+        ui_series=ui_series,
+        ui_early_positive=(
+            float(np.mean([d > 0 for d in early])) if early else 0.0
+        ),
+        ui_total_positive=(
+            float(np.mean([d > 0 for d in total])) if total else 0.0
+        ),
+    )
+
+
+def _first_matching(engine, app, action_name, predicate, attempts=50):
+    action = app.action(action_name)
+    for _ in range(attempts):
+        execution = engine.run_action(app, action)
+        if predicate(execution):
+            return execution
+    raise RuntimeError(
+        f"no execution of {app.name}/{action_name} matched the predicate"
+    )
+
+
+def _series(execution, window_ms):
+    series = []
+    cursor = execution.start_ms
+    while cursor < execution.end_ms:
+        window_end = min(cursor + window_ms, execution.end_ms)
+        main = execution.timeline.total(
+            MAIN_THREAD, "context-switches", cursor, window_end
+        )
+        render = execution.timeline.total(
+            RENDER_THREAD, "context-switches", cursor, window_end
+        )
+        series.append(
+            ((cursor - execution.start_ms) / 1000.0, main, render)
+        )
+        cursor = window_end
+    return series

@@ -1,0 +1,254 @@
+"""Fleet experiments: Tables 5 and 6.
+
+Table 5: run Hang Doctor in the wild over the 114-app corpus (16
+catalog apps with bugs + generated clean apps), count the new soft
+hang bugs it finds per app (BD) and how many of them a
+PerfChecker-style offline scanner misses (MO).  Paper: 34 bugs, 23
+(68 %) missed offline.
+
+Table 6: for each previously-unknown (validation) bug, which of the
+three filter events recognizes it (fires in at least half of its bug
+hangs).  Paper: context-switches 18/23, task-clock 12/23, page-faults
+12/23, union 23/23.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.metrics import detected_bug_sites
+from repro.apps.catalog import TABLE5_APPS
+from repro.apps.corpus import build_corpus
+from repro.apps.sessions import SessionGenerator
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.config import HangDoctorConfig
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.offline import OfflineScanner
+from repro.detectors.runner import run_detector
+from repro.harness.tables import render_table
+from repro.harness.training import validation_bug_cases
+from repro.sim.engine import ExecutionEngine
+from repro.sim.pmu import PmuSampler
+from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+
+@dataclass
+class Table5Row:
+    """Per-app outcome of the fleet run."""
+
+    app_name: str
+    category: str
+    downloads: int
+    commit: str
+    issue_id: int
+    bugs_detected: int
+    missed_offline: int
+    ground_truth_bugs: int
+
+
+@dataclass
+class Table5Result:
+    """Fleet-wide Hang Doctor results."""
+
+    rows: List[Table5Row]
+    apps_tested: int
+    clean_apps_flagged: int
+    #: Unknown blocking APIs added to the database at runtime.
+    new_blocking_apis: List[str]
+
+    @property
+    def total_detected(self):
+        """Bugs Hang Doctor found across the fleet."""
+        return sum(row.bugs_detected for row in self.rows)
+
+    @property
+    def total_missed_offline(self):
+        """Detected bugs the offline scanner misses."""
+        return sum(row.missed_offline for row in self.rows)
+
+    @property
+    def missed_offline_percent(self):
+        """Share of detections missed offline (paper: 68 %)."""
+        if not self.total_detected:
+            return 0.0
+        return 100.0 * self.total_missed_offline / self.total_detected
+
+    def render(self):
+        """ASCII rendering of the result."""
+        rows = [
+            (row.app_name, row.category, row.issue_id,
+             f"{row.bugs_detected} ({row.missed_offline})",
+             row.ground_truth_bugs)
+            for row in self.rows
+        ]
+        rows.append((
+            "TOTAL", "", "",
+            f"{self.total_detected} ({self.total_missed_offline})",
+            sum(row.ground_truth_bugs for row in self.rows),
+        ))
+        table = render_table(
+            ("App Name", "Category", "Issue", "BD (MO)", "truth"),
+            rows, title=f"Table 5 - {self.apps_tested} apps tested",
+        )
+        return (
+            f"{table}\n"
+            f"{self.missed_offline_percent:.0f}% of detected bugs are "
+            f"missed by the offline scanner; "
+            f"{len(self.new_blocking_apis)} new blocking APIs added to "
+            f"the database; {self.clean_apps_flagged} clean apps "
+            f"wrongly flagged"
+        )
+
+
+def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
+           config=None):
+    """Reproduce Table 5's fleet study (scaled-down user base)."""
+    generator = SessionGenerator(seed=seed)
+    scanner = OfflineScanner()
+    shared_db = BlockingApiDatabase.initial()
+    rows = []
+    clean_flagged = 0
+    apps = build_corpus(seed=seed, size=corpus_size)
+    for app in apps:
+        engine = ExecutionEngine(device, seed=seed)
+        doctor = HangDoctor(
+            app, device, config=config, blocking_db=shared_db, seed=seed
+        )
+        detections = []
+        is_catalog = bool(app.hang_bug_operations())
+        app_users = users if is_catalog else max(1, users // 2)
+        per_user = actions_per_user if is_catalog else actions_per_user // 3
+        for session in generator.fleet_sessions(app, app_users, per_user):
+            executions = engine.run_session(
+                app, session.action_names, gap_ms=1000.0
+            )
+            run = run_detector(doctor, executions, device_id=session.user_id)
+            detections.extend(run.detections)
+        detected_sites = detected_bug_sites(app, detections)
+        if not is_catalog:
+            if detections:
+                clean_flagged += 1
+            continue
+        offline_sites = scanner.detected_sites(app)
+        missed = [s for s in detected_sites if s not in offline_sites]
+        rows.append(
+            Table5Row(
+                app_name=app.name,
+                category=app.category,
+                downloads=app.downloads,
+                commit=app.commit,
+                issue_id=app.issue_id or 0,
+                bugs_detected=len(detected_sites),
+                missed_offline=len(missed),
+                ground_truth_bugs=len(app.hang_bug_operations()),
+            )
+        )
+    return Table5Result(
+        rows=rows,
+        apps_tested=len(apps),
+        clean_apps_flagged=clean_flagged,
+        new_blocking_apis=shared_db.runtime_discoveries(),
+    )
+
+
+@dataclass
+class Table6Row:
+    """Per-app counter attribution for validation bugs."""
+
+    app_name: str
+    new_bugs: int
+    by_event: Dict[str, int]
+
+
+@dataclass
+class Table6Result:
+    """Which filter event recognizes each previously-unknown bug."""
+
+    rows: List[Table6Row]
+    events: Tuple[str, ...]
+    undetected: List[str]
+
+    def totals(self):
+        """Per-event recognition totals across apps."""
+        totals = {event: 0 for event in self.events}
+        for row in self.rows:
+            for event in self.events:
+                totals[event] += row.by_event.get(event, 0)
+        return totals
+
+    @property
+    def total_bugs(self):
+        """All validation bugs covered by the table."""
+        return sum(row.new_bugs for row in self.rows)
+
+    def render(self):
+        """ASCII rendering of the result."""
+        headers = ["App Name", "New Bugs"] + [
+            event.replace("context-switches", "ctx-sw") for event in
+            self.events
+        ]
+        rows = []
+        for row in self.rows:
+            cells = [row.app_name, row.new_bugs]
+            cells += [row.by_event.get(event, 0) or "-" for event in
+                      self.events]
+            rows.append(cells)
+        totals = self.totals()
+        rows.append(
+            ["TOTAL", self.total_bugs]
+            + [totals[event] for event in self.events]
+        )
+        table = render_table(
+            headers, rows,
+            title="Table 6 - Validation bugs recognized per filter event",
+        )
+        undetected = (
+            f"\nbugs not recognized by any event: {self.undetected}"
+            if self.undetected else "\nall validation bugs recognized"
+        )
+        return table + undetected
+
+
+def table6(device, seed=0, runs=25, config=None, recognize_rate=0.5):
+    """Reproduce Table 6's per-counter validation-bug attribution."""
+    config = (config or HangDoctorConfig()).validate()
+    events = config.filter_events()
+    sampler = PmuSampler(device, events, seed=seed)
+    engine = ExecutionEngine(device, seed=seed)
+
+    per_app: Dict[str, Table6Row] = {}
+    undetected = []
+    for case in validation_bug_cases():
+        action = case.app.action(case.action_name)
+        hangs = 0
+        fired = {event: 0 for event in events}
+        for _ in range(runs):
+            execution = engine.run_action(case.app, action)
+            if not execution.has_soft_hang:
+                continue
+            if case.site_id not in execution.hang_bug_sites():
+                continue
+            hangs += 1
+            for event in events:
+                value = sampler.read_difference(
+                    execution.timeline, event, MAIN_THREAD, RENDER_THREAD,
+                    execution.start_ms, execution.end_ms,
+                )
+                if value > config.filter_thresholds[event]:
+                    fired[event] += 1
+        row = per_app.setdefault(
+            case.app.name,
+            Table6Row(app_name=case.app.name, new_bugs=0,
+                      by_event={event: 0 for event in events}),
+        )
+        row.new_bugs += 1
+        recognized = False
+        for event in events:
+            if hangs and fired[event] / hangs >= recognize_rate:
+                row.by_event[event] += 1
+                recognized = True
+        if not recognized:
+            undetected.append(f"{case.key}:{case.site_id}")
+    ordered = [
+        per_app[app.name] for app in TABLE5_APPS if app.name in per_app
+    ]
+    return Table6Result(rows=ordered, events=events, undetected=undetected)

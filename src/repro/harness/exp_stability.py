@@ -1,0 +1,107 @@
+"""Seed-stability of the headline results.
+
+A single-seed reproduction can be a lucky draw.  This experiment
+repeats the headline measurements across independent seeds and
+summarizes their spread, so EXPERIMENTS.md's claims ("Table 5
+reproduces exactly") can be read as typical behaviour, not a
+cherry-pick:
+
+* Table 5's bugs-detected / missed-offline totals,
+* Figure 8's Hang Doctor TP/FP ratios vs TI,
+* the S-Checker filter's training recall/prune under refits.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.correlation import correlate, ranked_events
+from repro.analysis.thresholds import fit_filter
+from repro.harness.exp_comparison import figure8
+from repro.harness.exp_fleet import table5
+from repro.harness.exp_filter import training_samples
+from repro.harness.tables import render_table
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Per-metric samples across seeds."""
+
+    #: metric name -> list of per-seed values.
+    metrics: Dict[str, List[float]]
+    seeds: Tuple[int, ...]
+
+    def mean(self, metric):
+        """Across-seed mean of one metric."""
+        return float(np.mean(self.metrics[metric]))
+
+    def std(self, metric):
+        """Across-seed standard deviation of one metric."""
+        return float(np.std(self.metrics[metric]))
+
+    def spread(self, metric):
+        """(min, max) across seeds."""
+        values = self.metrics[metric]
+        return min(values), max(values)
+
+    def render(self):
+        """ASCII table: mean / std / min / max per metric."""
+        rows = []
+        for metric in self.metrics:
+            lo, hi = self.spread(metric)
+            rows.append((
+                metric, round(self.mean(metric), 3),
+                round(self.std(metric), 3), round(lo, 3), round(hi, 3),
+            ))
+        return render_table(
+            ("metric", "mean", "std", "min", "max"), rows,
+            title=f"Seed stability over seeds {list(self.seeds)}",
+        )
+
+
+def fleet_stability(device, seeds=(3, 7, 13), users=3,
+                    actions_per_user=60):
+    """Table 5's totals across seeds."""
+    metrics = {"bugs_detected": [], "missed_offline": [],
+               "clean_flagged": []}
+    for seed in seeds:
+        result = table5(device, seed=seed, users=users,
+                        actions_per_user=actions_per_user)
+        metrics["bugs_detected"].append(float(result.total_detected))
+        metrics["missed_offline"].append(float(result.total_missed_offline))
+        metrics["clean_flagged"].append(float(result.clean_apps_flagged))
+    return StabilityResult(metrics=metrics, seeds=tuple(seeds))
+
+
+def comparison_stability(device, seeds=(2, 5, 11), users=2,
+                         actions_per_user=50):
+    """Figure 8's Hang Doctor averages across seeds."""
+    metrics = {"hd_tp_ratio": [], "hd_fp_ratio": [], "hd_overhead": [],
+               "ti_overhead": []}
+    for seed in seeds:
+        result = figure8(device, seed=seed, users=users,
+                         actions_per_user=actions_per_user)
+        tp = result.normalized("tp")["Average"]
+        fp = result.normalized("fp")["Average"]
+        over = result.overheads()["Average"]
+        metrics["hd_tp_ratio"].append(tp["HD"])
+        metrics["hd_fp_ratio"].append(fp["HD"])
+        metrics["hd_overhead"].append(over["HD"])
+        metrics["ti_overhead"].append(over["TI"])
+    return StabilityResult(metrics=metrics, seeds=tuple(seeds))
+
+
+def filter_stability(device, seeds=(7, 21, 42), runs_per_case=8):
+    """The refitted filter's quality across training realizations."""
+    metrics = {"recall": [], "prune": [], "events": []}
+    for seed in seeds:
+        samples = training_samples(device, seed=seed,
+                                   runs_per_case=runs_per_case)
+        ranking = [e for e, _ in ranked_events(correlate(samples))]
+        fitted = fit_filter(samples, ranking)
+        tp, fp, fn, tn = fitted.confusion(samples)
+        metrics["recall"].append(tp / (tp + fn))
+        metrics["prune"].append(tn / (tn + fp) if (tn + fp) else 0.0)
+        metrics["events"].append(float(len(fitted.thresholds)))
+    return StabilityResult(metrics=metrics, seeds=tuple(seeds))

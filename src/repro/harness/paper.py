@@ -1,0 +1,185 @@
+"""The paper's published numbers, as checkable data.
+
+Every quantitative claim this reproduction targets is encoded as a
+:class:`Claim` with the paper's value and a tolerance expressing how
+tightly a simulator-substrate reproduction should match ("shape" vs
+"exact").  :func:`verify_claims` evaluates a set of measured values
+and produces a verdict table — the machine-readable core of
+EXPERIMENTS.md.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.harness.tables import render_table
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim from the paper."""
+
+    key: str
+    #: Where in the paper the number comes from.
+    source: str
+    #: The paper's published value.
+    paper_value: float
+    #: Acceptable absolute deviation for a "holds" verdict (None means
+    #: directional-only: just compare the sign of (measured - ref)).
+    tolerance: Optional[float] = None
+    #: For directional claims: measured must be on this side of
+    #: paper_value ("<=", ">=").
+    direction: Optional[str] = None
+
+    def verdict(self, measured):
+        """'holds' / 'close' / 'deviates' for a measured value."""
+        if self.direction == "<=":
+            return "holds" if measured <= self.paper_value else "deviates"
+        if self.direction == ">=":
+            return "holds" if measured >= self.paper_value else "deviates"
+        delta = abs(measured - self.paper_value)
+        if delta <= self.tolerance:
+            return "holds"
+        if delta <= 2 * self.tolerance:
+            return "close"
+        return "deviates"
+
+
+#: The reproduction's target claims (paper section in `source`).
+PAPER_CLAIMS = {
+    claim.key: claim for claim in (
+        # Figure 1
+        Claim("fig1_buggy_ms", "Fig. 1", 423.0, tolerance=30.0),
+        Claim("fig1_fixed_ms", "Fig. 1", 160.0, tolerance=20.0),
+        # Table 2 (totals at each timeout)
+        Claim("t2_tp_5s", "Table 2", 0.0, tolerance=0.0),
+        Claim("t2_tp_1s", "Table 2", 1.0, tolerance=0.0),
+        Claim("t2_tp_500ms", "Table 2", 2.0, tolerance=1.0),
+        Claim("t2_tp_100ms", "Table 2", 19.0, tolerance=0.0),
+        Claim("t2_fp_500ms", "Table 2", 8.0, tolerance=3.0),
+        Claim("t2_fp_100ms", "Table 2", 33.0, tolerance=5.0),
+        # Table 3
+        Claim("t3_top_corr", "Table 3(a)", 0.658, tolerance=0.1),
+        Claim("t3_diff_gain_pct", "Table 3", 14.0, tolerance=8.0),
+        # Figure 4 / filter
+        Claim("fig4_recall", "Fig. 4", 1.0, tolerance=0.05),
+        Claim("fig4_prune", "Fig. 4", 0.64, tolerance=0.2),
+        Claim("fig4_accuracy", "Fig. 4", 0.81, tolerance=0.1),
+        # Table 5
+        Claim("t5_bugs", "Table 5", 34.0, tolerance=2.0),
+        Claim("t5_missed_offline_pct", "Table 5", 68.0, tolerance=6.0),
+        # Table 6
+        Claim("t6_union", "Table 6", 23.0, tolerance=0.0),
+        # Figure 8
+        Claim("fig8_hd_tp", "Fig. 8(a)", 0.80, tolerance=0.15),
+        Claim("fig8_hd_fp", "Fig. 8(b)", 0.10, direction="<="),
+        Claim("fig8_utl_fp", "Fig. 8(b)", 8.0, direction=">="),
+        Claim("fig8_uth_tp", "Fig. 8(a)", 0.55, direction="<="),
+        Claim("fig8_ti_overhead", "Fig. 8(c)", 2.26, tolerance=0.8),
+        Claim("fig8_hd_cheaper_than_ti", "Fig. 8(c)", 1.0, direction="<="),
+    )
+}
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One evaluated claim."""
+
+    claim: Claim
+    measured: float
+    verdict: str
+
+
+def verify_claims(measured: Dict[str, float], claims=None):
+    """Evaluate measured values against the paper claims.
+
+    Returns a list of :class:`ClaimCheck` (unknown keys are rejected,
+    claims without measurements are skipped).
+    """
+    claims = claims or PAPER_CLAIMS
+    unknown = set(measured) - set(claims)
+    if unknown:
+        raise KeyError(f"measurements for unknown claims: {sorted(unknown)}")
+    checks = []
+    for key, value in measured.items():
+        claim = claims[key]
+        checks.append(
+            ClaimCheck(claim=claim, measured=float(value),
+                       verdict=claim.verdict(float(value)))
+        )
+    return checks
+
+
+def render_checks(checks):
+    """Verdict table over evaluated claims."""
+    rows = []
+    for check in sorted(checks, key=lambda c: c.claim.source):
+        rows.append((
+            check.claim.key, check.claim.source,
+            round(check.claim.paper_value, 3),
+            round(check.measured, 3), check.verdict,
+        ))
+    return render_table(
+        ("claim", "source", "paper", "measured", "verdict"), rows,
+        title="Paper-claim verification",
+    )
+
+
+def collect_measurements(device, seed=0):
+    """Run the experiments needed to evaluate every claim.
+
+    This is the heavyweight path behind ``verify_reproduction`` — a
+    full regeneration of the headline experiments.
+    """
+    from repro.harness import exp_comparison, exp_filter, exp_fleet, \
+        exp_motivation
+
+    measured = {}
+
+    fig1 = exp_motivation.figure1(device, seed=seed or 5)
+    measured["fig1_buggy_ms"] = fig1.buggy_response_ms
+    measured["fig1_fixed_ms"] = fig1.fixed_response_ms
+
+    t2 = exp_motivation.table2(device, seed=seed or 5)
+    totals = t2.totals()
+    measured["t2_tp_5s"] = totals[5000.0][0]
+    measured["t2_tp_1s"] = totals[1000.0][0]
+    measured["t2_tp_500ms"] = totals[500.0][0]
+    measured["t2_tp_100ms"] = totals[100.0][0]
+    measured["t2_fp_500ms"] = totals[500.0][1]
+    measured["t2_fp_100ms"] = totals[100.0][1]
+
+    t3 = exp_filter.table3(device, seed=seed or 7)
+    measured["t3_top_corr"] = t3.diff_ranking[0][1]
+    measured["t3_diff_gain_pct"] = t3.improvement_percent()
+
+    fig4 = exp_filter.figure4(device, seed=seed or 7)
+    measured["fig4_recall"] = fig4.recall
+    measured["fig4_prune"] = fig4.prune_rate
+    measured["fig4_accuracy"] = fig4.accuracy
+
+    t5 = exp_fleet.table5(device, seed=seed or 7, users=5,
+                          actions_per_user=80)
+    measured["t5_bugs"] = t5.total_detected
+    measured["t5_missed_offline_pct"] = t5.missed_offline_percent
+
+    t6 = exp_fleet.table6(device, seed=seed or 11)
+    measured["t6_union"] = t6.total_bugs - len(t6.undetected)
+
+    fig8 = exp_comparison.figure8(device, seed=seed or 2)
+    tp = fig8.normalized("tp")["Average"]
+    fp = fig8.normalized("fp")["Average"]
+    over = fig8.overheads()["Average"]
+    measured["fig8_hd_tp"] = tp["HD"]
+    measured["fig8_hd_fp"] = fp["HD"]
+    measured["fig8_utl_fp"] = fp["UTL"]
+    measured["fig8_uth_tp"] = tp["UTH"]
+    measured["fig8_ti_overhead"] = over["TI"]
+    measured["fig8_hd_cheaper_than_ti"] = over["HD"] / over["TI"]
+    return measured
+
+
+def verify_reproduction(device, seed=0):
+    """Full claim verification; returns (checks, rendered table)."""
+    measured = collect_measurements(device, seed=seed)
+    checks = verify_claims(measured)
+    return checks, render_checks(checks)

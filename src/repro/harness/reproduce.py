@@ -1,0 +1,62 @@
+"""One-button reproduction.
+
+:func:`generate_all` runs every paper experiment end to end and writes
+the rendered artifacts to a directory — the same content the benchmark
+suite archives, callable from scripts and from
+``python -m repro reproduce``.
+"""
+
+import pathlib
+import time
+
+from repro.harness import (
+    exp_casestudy,
+    exp_comparison,
+    exp_filter,
+    exp_fleet,
+    exp_motivation,
+)
+
+#: (artifact name, experiment callable) in paper order.  Each callable
+#: takes (device, seed) and returns an object with ``render()``.
+EXPERIMENTS = (
+    ("figure1", lambda device, seed: exp_motivation.figure1(
+        device, seed=seed)),
+    ("table2", lambda device, seed: exp_motivation.table2(
+        device, seed=seed)),
+    ("table3", lambda device, seed: exp_filter.table3(device, seed=seed)),
+    ("table4", lambda device, seed: exp_filter.table4(device, seed=seed)),
+    ("figure4", lambda device, seed: exp_filter.figure4(device, seed=seed)),
+    ("figure5", lambda device, seed: exp_filter.figure5(device, seed=seed)),
+    ("figure6", lambda device, seed: exp_casestudy.figure6(
+        device, seed=3 if seed == 0 else seed)),
+    ("figure7", lambda device, seed: exp_casestudy.figure7(
+        device, seed=1 if seed == 0 else seed)),
+    ("table5", lambda device, seed: exp_fleet.table5(
+        device, seed=7 if seed == 0 else seed, users=5,
+        actions_per_user=80)),
+    ("table6", lambda device, seed: exp_fleet.table6(
+        device, seed=11 if seed == 0 else seed)),
+    ("figure8", lambda device, seed: exp_comparison.figure8(
+        device, seed=2 if seed == 0 else seed)),
+)
+
+
+def generate_all(device, out_dir, seed=0, progress=None):
+    """Run every experiment; write ``<name>.txt`` files to *out_dir*.
+
+    *progress(name, seconds)* is called after each experiment.
+    Returns {name: rendered text}.
+    """
+    out_path = pathlib.Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    rendered = {}
+    for name, runner in EXPERIMENTS:
+        started = time.perf_counter()
+        result = runner(device, seed)
+        text = result.render()
+        (out_path / f"{name}.txt").write_text(text + "\n")
+        rendered[name] = text
+        if progress is not None:
+            progress(name, time.perf_counter() - started)
+    return rendered

@@ -1,0 +1,50 @@
+"""The stock ANR watchdog (Android's built-in hang detector).
+
+Android shows the "Application Not Responding" dialog when the main
+thread fails to process input for 5 seconds.  The paper's Section 2.2
+uses it as the canonical example of a timeout that is far too long for
+soft hangs: at 5 s it catches none of the 19 known bugs in the
+motivation apps.  It exists here as the baseline the OS service
+improves on.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+#: Android's input-dispatch ANR timeout.
+ANR_TIMEOUT_MS = 5000.0
+
+
+@dataclass(frozen=True)
+class AnrEvent:
+    """One ANR dialog occurrence."""
+
+    app_name: str
+    action_name: str
+    response_time_ms: float
+    time_ms: float
+
+
+class AnrWatchdog:
+    """Flags input events slower than the ANR timeout."""
+
+    def __init__(self, timeout_ms=ANR_TIMEOUT_MS):
+        if timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+        self.timeout_ms = timeout_ms
+        self.events: List[AnrEvent] = []
+
+    def observe(self, execution):
+        """Check one action execution; returns newly raised ANRs."""
+        raised = []
+        for event_execution in execution.events:
+            if event_execution.response_time_ms > self.timeout_ms:
+                anr = AnrEvent(
+                    app_name=execution.app.name,
+                    action_name=execution.action.name,
+                    response_time_ms=event_execution.response_time_ms,
+                    time_ms=event_execution.finish_ms,
+                )
+                self.events.append(anr)
+                raised.append(anr)
+        return raised

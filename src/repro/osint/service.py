@@ -1,0 +1,100 @@
+"""System-wide hang service.
+
+One :class:`OsHangService` supervises every installed app: it lazily
+creates a per-app :class:`~repro.core.hang_doctor.HangDoctor` on the
+app's first foreground execution, shares a single
+known-blocking-API database across all of them (a bug learned from one
+app immediately protects the rest at the next offline scan), keeps the
+legacy ANR watchdog running for hard hangs, and aggregates every
+detection into a system report the platform vendor can triage.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.config import HangDoctorConfig
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.base import Detection
+from repro.osint.anr import AnrWatchdog
+
+
+@dataclass
+class SystemReport:
+    """Fleet-wide aggregation of detections and ANRs."""
+
+    detections: List[Detection] = field(default_factory=list)
+    anr_events: List = field(default_factory=list)
+
+    def by_app(self):
+        """{app name: [detections]}, most-affected apps first."""
+        per_app: Dict[str, List[Detection]] = {}
+        for detection in self.detections:
+            per_app.setdefault(detection.app_name, []).append(detection)
+        return dict(
+            sorted(per_app.items(), key=lambda kv: len(kv[1]), reverse=True)
+        )
+
+    def by_api(self):
+        """{root operation: occurrence count} across all apps."""
+        counts: Dict[str, int] = {}
+        for detection in self.detections:
+            if detection.root_name is not None:
+                counts[detection.root_name] = (
+                    counts.get(detection.root_name, 0) + 1
+                )
+        return dict(
+            sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+        )
+
+    def render(self):
+        """Human-readable system report."""
+        lines = ["System-wide soft hang report"]
+        lines.append(f"  soft hang bug detections : {len(self.detections)}")
+        lines.append(f"  legacy ANR dialogs       : {len(self.anr_events)}")
+        lines.append("  top blocking operations:")
+        for name, count in list(self.by_api().items())[:10]:
+            lines.append(f"    {count:4d}x {name}")
+        return "\n".join(lines)
+
+
+class OsHangService:
+    """Per-app Hang Doctors behind one OS-level facade."""
+
+    def __init__(self, device, config=None, seed=0):
+        self.device = device
+        self.config = config or HangDoctorConfig()
+        self.seed = seed
+        #: One database for the whole device (the paper's feedback loop,
+        #: system-wide).
+        self.blocking_db = BlockingApiDatabase.initial()
+        self.anr = AnrWatchdog()
+        self.report = SystemReport()
+        self._doctors: Dict[str, HangDoctor] = {}
+
+    def doctor_for(self, app):
+        """The (lazily created) Hang Doctor supervising *app*."""
+        doctor = self._doctors.get(app.package)
+        if doctor is None:
+            doctor = HangDoctor(
+                app, self.device, config=self.config,
+                blocking_db=self.blocking_db, seed=self.seed,
+            )
+            self._doctors[app.package] = doctor
+        return doctor
+
+    def supervised_apps(self):
+        """Packages currently supervised."""
+        return sorted(self._doctors)
+
+    def observe(self, execution, device_id=0):
+        """Route one foreground execution to its app's doctor."""
+        doctor = self.doctor_for(execution.app)
+        outcome = doctor.process(execution, device_id=device_id)
+        self.report.detections.extend(outcome.detections)
+        self.report.anr_events.extend(self.anr.observe(execution))
+        return outcome
+
+    def cross_app_discoveries(self):
+        """Blocking APIs learned at runtime, shared device-wide."""
+        return self.blocking_db.runtime_discoveries()

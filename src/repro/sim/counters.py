@@ -1,0 +1,221 @@
+"""Performance-event counter model.
+
+Simulates the 46 performance events the paper samples with Simpleperf
+on the LG V10: 9 kernel software events (counted exactly by the OS) and
+37 PMU hardware events (counted by a limited set of registers; see
+:mod:`repro.sim.pmu` for the multiplexing error that a register
+shortage introduces).
+
+The model's causal structure follows the paper's Section 3.3.1:
+
+* **Scheduling/memory events** (context-switches, task-clock,
+  cpu-clock, page-faults, minor-faults, cpu-migrations) are dictated by
+  OS decisions — how long a thread ran, how often it blocked, how many
+  fresh pages it touched.  They depend on the *role* of the thread
+  during an operation, not on the operation's source code, which is why
+  they discriminate soft hang bugs from UI work.
+* **Microarchitectural events** (instructions, caches, branches, TLBs)
+  scale with CPU time but carry a large per-API multiplier
+  (:meth:`repro.apps.api.ApiSpec.uarch_profile`): each API "may have
+  more or less instructions compared to UI-APIs", so these events
+  correlate poorly with hang bugs.
+"""
+
+from repro.base.kinds import ApiKind
+from repro.sim import memory, scheduler
+
+#: Kernel software events (exact counting, no PMU registers needed).
+KERNEL_EVENTS = (
+    "context-switches",
+    "cpu-migrations",
+    "page-faults",
+    "minor-faults",
+    "major-faults",
+    "task-clock",
+    "cpu-clock",
+    "alignment-faults",
+    "emulation-faults",
+)
+
+#: PMU hardware events (subject to register multiplexing).
+PMU_EVENTS = (
+    "cpu-cycles",
+    "instructions",
+    "cache-references",
+    "cache-misses",
+    "branch-instructions",
+    "branch-misses",
+    "stalled-cycles-frontend",
+    "stalled-cycles-backend",
+    "L1-dcache-loads",
+    "L1-dcache-load-misses",
+    "L1-dcache-stores",
+    "L1-dcache-store-misses",
+    "L1-icache-loads",
+    "L1-icache-load-misses",
+    "LLC-loads",
+    "LLC-load-misses",
+    "LLC-stores",
+    "LLC-store-misses",
+    "dTLB-loads",
+    "dTLB-load-misses",
+    "iTLB-loads",
+    "iTLB-load-misses",
+    "branch-loads",
+    "branch-load-misses",
+    "raw-l1-dcache",
+    "raw-l1-dcache-refill",
+    "raw-l1-icache",
+    "raw-l1-icache-refill",
+    "raw-l1-dtlb-refill",
+    "raw-l1-itlb-refill",
+    "raw-branch-pred",
+    "raw-branch-mispred",
+    "raw-mem-access",
+    "raw-bus-access",
+    "raw-bus-cycles",
+    "raw-cpu-cycles",
+    "raw-instruction-retired",
+)
+
+#: All 46 events, kernel first (mirrors the paper's "46 performance
+#: events are available in total").
+ALL_EVENTS = KERNEL_EVENTS + PMU_EVENTS
+
+#: The three kernel events S-Checker ends up selecting.
+FILTER_EVENTS = ("context-switches", "task-clock", "page-faults")
+
+#: IPC scaling per operation kind (I/O code stalls; loops stream).
+_KIND_IPC = {
+    ApiKind.BLOCKING: 0.7,
+    ApiKind.COMPUTE: 1.3,
+    ApiKind.UI: 1.0,
+    ApiKind.LIGHT: 1.0,
+}
+
+#: Milliseconds of CPU per nanosecond-unit of the task-clock counter.
+NS_PER_MS = 1e6
+
+
+class CounterModel:
+    """Generates per-segment counts for all 46 events."""
+
+    def __init__(self, device):
+        self.device = device
+
+    def segment_counts(self, *, kind, thread, wall_ms, cpu_ms, pages, uarch, rng,
+                       wait_chunk_override=None, dvfs=None):
+        """Sample event counts for one execution segment.
+
+        Parameters
+        ----------
+        kind: :class:`~repro.base.kinds.ApiKind` of the driving operation.
+        thread: timeline thread name the segment runs on.
+        wall_ms / cpu_ms: wall duration and CPU time of the segment.
+        pages: fresh memory pages the segment touches.
+        uarch: per-API multipliers from :meth:`ApiSpec.uarch_profile`.
+        rng: numpy Generator (one per action execution).
+
+        Returns a dict over :data:`ALL_EVENTS`.
+        """
+        device = self.device
+        cpu_ms = max(0.0, min(cpu_ms, wall_ms))
+
+        def noisy(value, sigma):
+            if value <= 0:
+                return 0.0
+            return float(value * rng.lognormal(mean=0.0, sigma=sigma))
+
+        counts = {}
+
+        # --- kernel software events (OS-scheduling driven) ---
+        switches = scheduler.segment_switches(
+            kind, thread, wall_ms, cpu_ms, device, rng,
+            chunk_override=wait_chunk_override,
+        )
+        faults = memory.segment_faults(kind, pages, rng)
+        counts["context-switches"] = float(switches.total)
+        counts["cpu-migrations"] = float(
+            scheduler.cpu_migrations(switches, device, rng)
+        )
+        counts["page-faults"] = float(faults.total)
+        counts["minor-faults"] = float(faults.minor)
+        counts["major-faults"] = float(faults.major)
+        counts["task-clock"] = noisy(cpu_ms * NS_PER_MS, 0.02)
+        counts["cpu-clock"] = noisy(counts["task-clock"], 0.01)
+        counts["alignment-faults"] = 0.0
+        counts["emulation-faults"] = 0.0
+
+        # --- PMU events (code-specific via per-API uarch profile) ---
+        # DVFS: the governor varies clock frequency, so cycle-derived
+        # counts decorrelate from task-clock (wall CPU time) — one
+        # reason the paper's top events are all kernel events.  The
+        # factor normally comes from the engine (one draw per action:
+        # governors hold a frequency far longer than one operation).
+        if dvfs is None:
+            dvfs = float(rng.lognormal(mean=0.0, sigma=0.45))
+        cycles = noisy(cpu_ms * device.cycles_per_ms * dvfs, 0.03)
+        ipc = device.baseline_ipc * _KIND_IPC[kind] * uarch["ipc"]
+        instructions = noisy(cycles * ipc, 0.05)
+        counts["cpu-cycles"] = cycles
+        counts["raw-cpu-cycles"] = noisy(cycles, 0.01)
+        counts["instructions"] = instructions
+        counts["raw-instruction-retired"] = noisy(instructions, 0.01)
+
+        branch_instr = noisy(instructions * 0.18 * uarch["branch"], 0.05)
+        branch_miss = noisy(branch_instr * 0.045, 0.10)
+        counts["branch-instructions"] = branch_instr
+        counts["branch-misses"] = branch_miss
+        counts["branch-loads"] = noisy(branch_instr, 0.02)
+        counts["branch-load-misses"] = noisy(branch_miss, 0.05)
+        counts["raw-branch-pred"] = noisy(branch_instr, 0.02)
+        counts["raw-branch-mispred"] = noisy(branch_miss, 0.05)
+
+        l1d_loads = noisy(instructions * 0.28 * uarch["mem"], 0.05)
+        l1d_stores = noisy(instructions * 0.12 * uarch["mem"], 0.05)
+        l1d_load_miss = noisy(l1d_loads * 0.030 * uarch["cache"], 0.10)
+        l1d_store_miss = noisy(l1d_stores * 0.020 * uarch["cache"], 0.10)
+        counts["L1-dcache-loads"] = l1d_loads
+        counts["L1-dcache-stores"] = l1d_stores
+        counts["L1-dcache-load-misses"] = l1d_load_miss
+        counts["L1-dcache-store-misses"] = l1d_store_miss
+        counts["raw-l1-dcache"] = noisy(l1d_loads + l1d_stores, 0.02)
+        counts["raw-l1-dcache-refill"] = noisy(
+            l1d_load_miss + l1d_store_miss, 0.05
+        )
+
+        l1i_loads = noisy(instructions * 0.95, 0.03)
+        l1i_miss = noisy(l1i_loads * 0.008 * uarch["cache"], 0.12)
+        counts["L1-icache-loads"] = l1i_loads
+        counts["L1-icache-load-misses"] = l1i_miss
+        counts["raw-l1-icache"] = noisy(l1i_loads, 0.02)
+        counts["raw-l1-icache-refill"] = noisy(l1i_miss, 0.05)
+
+        llc_loads = noisy(l1d_load_miss * 0.85, 0.08)
+        llc_load_miss = noisy(llc_loads * 0.30 * uarch["cache"], 0.12)
+        llc_stores = noisy(l1d_store_miss * 0.85, 0.08)
+        llc_store_miss = noisy(llc_stores * 0.25 * uarch["cache"], 0.12)
+        counts["LLC-loads"] = llc_loads
+        counts["LLC-load-misses"] = llc_load_miss
+        counts["LLC-stores"] = llc_stores
+        counts["LLC-store-misses"] = llc_store_miss
+        counts["cache-references"] = noisy(llc_loads + llc_stores, 0.04)
+        counts["cache-misses"] = noisy(llc_load_miss + llc_store_miss, 0.06)
+
+        dtlb_miss = noisy(l1d_loads * 0.004 * uarch["tlb"], 0.12)
+        itlb_miss = noisy(l1i_loads * 0.001 * uarch["tlb"], 0.15)
+        counts["dTLB-loads"] = noisy(l1d_loads, 0.02)
+        counts["dTLB-load-misses"] = dtlb_miss
+        counts["iTLB-loads"] = noisy(l1i_loads, 0.02)
+        counts["iTLB-load-misses"] = itlb_miss
+        counts["raw-l1-dtlb-refill"] = noisy(dtlb_miss, 0.05)
+        counts["raw-l1-itlb-refill"] = noisy(itlb_miss, 0.05)
+
+        counts["stalled-cycles-frontend"] = noisy(cycles * 0.15, 0.10)
+        counts["stalled-cycles-backend"] = noisy(
+            cycles * 0.25 * uarch["cache"], 0.12
+        )
+        counts["raw-mem-access"] = noisy(l1d_loads + l1d_stores, 0.03)
+        counts["raw-bus-access"] = noisy(counts["cache-misses"] * 1.1, 0.08)
+        counts["raw-bus-cycles"] = noisy(cycles * 0.4, 0.05)
+        return counts

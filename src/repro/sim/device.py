@@ -1,0 +1,83 @@
+"""Device profiles.
+
+The paper evaluates on an LG V10 and cross-checks on a Nexus 5 and a
+Galaxy S3.  A profile captures the handful of hardware/OS parameters the
+simulator depends on: CPU frequency, scheduler quantum, vsync period,
+I/O wait granularity, and the PMU register budget that forces event
+multiplexing when too many hardware events are counted at once.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware/OS parameters of a simulated smartphone."""
+
+    name: str
+    #: Number of CPU cores.
+    cores: int
+    #: Nominal CPU frequency in GHz (cycles accrue at this rate).
+    cpu_freq_ghz: float
+    #: Scheduler timeslice in milliseconds of CPU time; a thread that
+    #: runs this long is preempted (one involuntary context switch).
+    sched_quantum_ms: float
+    #: Display refresh period in milliseconds (frame pacing for the
+    #: render thread).
+    vsync_period_ms: float
+    #: Average CPU-burst length between voluntary blocks during I/O, in
+    #: milliseconds of wall time spent blocked per voluntary switch.
+    io_wait_chunk_ms: float
+    #: Number of hardware PMU counter registers.  Counting more PMU
+    #: events than this multiplexes them (scaled estimates with error).
+    pmu_registers: int
+    #: Number of PMU-generated events exposed by the CPU.
+    pmu_events_available: int
+    #: Baseline instructions-per-cycle for typical app code.
+    baseline_ipc: float
+
+    @property
+    def cycles_per_ms(self):
+        """CPU cycles accrued per millisecond of CPU time."""
+        return self.cpu_freq_ghz * 1e6
+
+
+#: The paper's primary evaluation device (Snapdragon 808: 6 registers,
+#: 37 PMU events plus kernel software events).
+LG_V10 = DeviceProfile(
+    name="LG V10",
+    cores=6,
+    cpu_freq_ghz=1.8,
+    sched_quantum_ms=10.0,
+    vsync_period_ms=16.67,
+    io_wait_chunk_ms=5.0,
+    pmu_registers=6,
+    pmu_events_available=37,
+    baseline_ipc=1.1,
+)
+
+NEXUS_5 = DeviceProfile(
+    name="Nexus 5",
+    cores=4,
+    cpu_freq_ghz=2.26,
+    sched_quantum_ms=10.0,
+    vsync_period_ms=16.67,
+    io_wait_chunk_ms=5.0,
+    pmu_registers=4,
+    pmu_events_available=37,
+    baseline_ipc=1.2,
+)
+
+GALAXY_S3 = DeviceProfile(
+    name="Galaxy S3",
+    cores=4,
+    cpu_freq_ghz=1.4,
+    sched_quantum_ms=10.0,
+    vsync_period_ms=16.67,
+    io_wait_chunk_ms=6.0,
+    pmu_registers=4,
+    pmu_events_available=30,
+    baseline_ipc=0.9,
+)
+
+ALL_DEVICES = (LG_V10, NEXUS_5, GALAXY_S3)

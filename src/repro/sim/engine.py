@@ -1,0 +1,498 @@
+"""Action execution engine.
+
+Simulates what happens on an app's threads when the user performs an
+action: the action's input events are posted to the main thread's
+looper and processed FIFO; each operation occupies the main thread for
+a sampled duration (UI work additionally feeding the render thread,
+worker-offloaded calls running concurrently), accruing performance
+events along the way.  The result is an :class:`ActionExecution` —
+per-event response times plus a queryable :class:`Timeline` — which is
+everything runtime detectors are allowed to observe.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.apps.app import ActionSpec, AppSpec, Operation
+from repro.base.kinds import ApiKind
+from repro.base.rng import stream
+from repro.sim.counters import CounterModel
+from repro.sim.looper import Looper, Message
+from repro.sim.timeline import (
+    MAIN_THREAD,
+    RENDER_THREAD,
+    Segment,
+    Timeline,
+    WORKER_THREAD,
+)
+
+#: Human-perceivable delay threshold (ms); the paper's soft-hang bar.
+PERCEIVABLE_DELAY_MS = 100.0
+
+#: Pseudo-event recording bytes moved over the network by main-thread
+#: code (from TrafficStats, not the PMU).  Fuel for the paper's
+#: footnote-2 extension: any main-thread network activity during a
+#: hang is a soft hang bug by definition.
+NETWORK_BYTES_EVENT = "network-bytes"
+
+#: Main-thread cost of posting work to a worker (AsyncTask dispatch).
+_WORKER_DISPATCH_MS = 0.4
+
+#: Gap between consecutive input events of one action (queue overhead).
+_EVENT_GAP_MS = 0.3
+
+#: Fraction of a UI operation's duration spent computing on the main
+#: thread before the render thread receives any work.
+_RENDER_LAG_SHARE = 0.4
+
+#: Main-thread CPU share of the post-action ambient activity.
+_AMBIENT_CPU_SHARE = 0.45
+
+#: Render pages per main-thread page per unit of render share: at the
+#: typical render_share of 0.6 a UI operation touches ~4x its main
+#: pages render-side (textures, display lists); main-thread-heavy UI
+#: work (measure/layout) touches proportionally less.
+_RENDER_PAGE_FACTOR_PER_SHARE = 6.67
+
+#: Stable microarchitectural profile of the render thread's own code.
+_RENDER_UARCH = {"ipc": 1.0, "cache": 1.0, "branch": 1.0, "tlb": 1.0, "mem": 1.0}
+
+
+@dataclass(frozen=True)
+class OperationExecution:
+    """One operation's execution within an action."""
+
+    op: Operation
+    thread: str
+    start_ms: float
+    end_ms: float
+    manifested: bool
+
+    @property
+    def duration_ms(self):
+        """Wall-clock duration of the operation."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class InputEventExecution:
+    """One input event's trip through the main thread."""
+
+    spec: object
+    enqueue_ms: float
+    dispatch_ms: float
+    finish_ms: float
+    op_executions: Tuple[OperationExecution, ...]
+
+    @property
+    def response_time_ms(self):
+        """Dequeue-to-finish processing time (what Hang Doctor measures
+        via the Looper's message-logging hooks)."""
+        return self.finish_ms - self.dispatch_ms
+
+    @property
+    def is_soft_hang(self):
+        """True if the event's response time is user-perceivable."""
+        return self.response_time_ms > PERCEIVABLE_DELAY_MS
+
+    def dominant_op(self):
+        """Main-thread operation contributing the most wall time."""
+        main_ops = [oe for oe in self.op_executions if oe.thread == MAIN_THREAD]
+        if not main_ops:
+            return None
+        return max(main_ops, key=lambda oe: oe.duration_ms)
+
+
+@dataclass(frozen=True)
+class ActionExecution:
+    """Everything observable about one execution of a user action."""
+
+    app: AppSpec
+    action: ActionSpec
+    start_ms: float
+    end_ms: float
+    events: Tuple[InputEventExecution, ...]
+    timeline: Timeline
+
+    @property
+    def response_time_ms(self):
+        """Action response time = max over its input events (paper §2.2)."""
+        return max(event.response_time_ms for event in self.events)
+
+    @property
+    def has_soft_hang(self):
+        """True if any input event exceeded the perceivable delay."""
+        return any(event.is_soft_hang for event in self.events)
+
+    def hang_events(self):
+        """Input events whose response time exceeded 100 ms."""
+        return [event for event in self.events if event.is_soft_hang]
+
+    def bug_caused_hang(self):
+        """Ground truth: is some soft hang dominated by a hang-bug op?
+
+        Used only by the metrics layer, never by detectors.
+        """
+        for event in self.hang_events():
+            dominant = event.dominant_op()
+            if dominant is not None and dominant.op.is_hang_bug:
+                return True
+        return False
+
+    def hang_bug_sites(self):
+        """Ground-truth bug call sites that manifested a hang here.
+
+        A site counts when its call individually exceeded the
+        perceivable delay, or when it was the dominant operation of a
+        hanging input event (a 90 ms blocking call that tips a busy
+        event over 100 ms still manifested as a hang).
+        """
+        sites = []
+        for event in self.hang_events():
+            dominant = event.dominant_op()
+            for oe in event.op_executions:
+                is_main_bug = oe.thread == MAIN_THREAD and oe.op.is_hang_bug
+                manifested_hang = (
+                    oe.duration_ms > PERCEIVABLE_DELAY_MS or oe is dominant
+                )
+                if is_main_bug and manifested_hang:
+                    if oe.op.site_id not in sites:
+                        sites.append(oe.op.site_id)
+        return sites
+
+    def counter_difference(self, event, start_ms=None, end_ms=None):
+        """Main−render difference of one event over a window."""
+        return self.timeline.difference(
+            event, MAIN_THREAD, RENDER_THREAD, start_ms, end_ms
+        )
+
+
+class ExecutionEngine:
+    """Runs actions of an app on a simulated device.
+
+    Each call to :meth:`run_action` uses a fresh RNG stream derived
+    from (seed, app, action, execution index), so repeated executions
+    vary while the whole experiment stays reproducible.
+    """
+
+    def __init__(self, device, seed=0, environment="wild"):
+        if environment not in ("wild", "lab"):
+            raise ValueError(f"unknown environment {environment!r}")
+        self.device = device
+        self.seed = seed
+        #: "wild" (real users, real content) or "lab" (a test bed with
+        #: synthetic inputs, where content-dependent bugs rarely
+        #: manifest -- the paper's §4.6 discussion).
+        self.environment = environment
+        self.counter_model = CounterModel(device)
+        self._execution_index = 0
+
+    def run_action(self, app, action, start_ms=0.0, rng=None, looper=None):
+        """Execute *action* of *app* starting at *start_ms*.
+
+        A caller may supply its own *looper* (e.g. one with response-
+        time monitors installed via ``set_message_logging``); otherwise
+        a private looper is used.
+        """
+        self._execution_index += 1
+        if rng is None:
+            rng = stream(self.seed, app.name, action.name, self._execution_index)
+        # The DVFS governor holds one frequency across a short action.
+        self._dvfs = float(rng.lognormal(mean=0.0, sigma=0.7))
+        timeline = Timeline()
+        looper = looper if looper is not None else Looper()
+        handler_frame = action.handler_frame(app.package)
+
+        for event_spec in action.events:
+            looper.post(
+                Message(target=event_spec.name, payload=event_spec,
+                        enqueue_ms=start_ms)
+            )
+
+        op_execs_per_event = []
+
+        def handle(message, dispatch_ms):
+            clock = dispatch_ms
+            op_execs = []
+            for op in message.payload.operations:
+                clock = self._run_operation(
+                    app, op, clock, rng, timeline, op_execs, handler_frame
+                )
+            op_execs_per_event.append(tuple(op_execs))
+            return clock
+
+        records = looper.dispatch_all(handle, start_ms)
+
+        events = []
+        clock = start_ms
+        for record, op_execs in zip(records, op_execs_per_event):
+            events.append(
+                InputEventExecution(
+                    spec=record.message.payload,
+                    enqueue_ms=record.message.enqueue_ms,
+                    dispatch_ms=record.dispatch_ms,
+                    finish_ms=record.finish_ms,
+                    op_executions=op_execs,
+                )
+            )
+            clock = record.finish_ms + _EVENT_GAP_MS
+
+        end_ms = self._settle(timeline, clock, rng)
+        return ActionExecution(
+            app=app,
+            action=action,
+            start_ms=start_ms,
+            end_ms=end_ms,
+            events=tuple(events),
+            timeline=timeline,
+        )
+
+    def run_queued_burst(self, app, action_names, start_ms=0.0):
+        """A rapid tap burst: every action's input events enqueue at
+        once, then drain FIFO (paper §2.1: "events are executed, one by
+        one, in their queue order" — which is why one blocking
+        operation freezes everything behind it).
+
+        Returns the list of
+        :class:`~repro.sim.looper.DispatchRecord` — their ``latency_ms``
+        (enqueue to finish) shows queued events absorbing the delay of
+        whatever ran before them, unlike ``response_time_ms``.
+        """
+        self._execution_index += 1
+        rng = stream(self.seed, app.name, "burst", self._execution_index)
+        self._dvfs = float(rng.lognormal(mean=0.0, sigma=0.7))
+        timeline = Timeline()
+        looper = Looper()
+        for name in action_names:
+            action = app.action(name)
+            handler_frame = action.handler_frame(app.package)
+            for event_spec in action.events:
+                looper.post(
+                    Message(target=f"{name}/{event_spec.name}",
+                            payload=(event_spec, handler_frame),
+                            enqueue_ms=start_ms)
+                )
+
+        def handle(message, dispatch_ms):
+            event_spec, handler_frame = message.payload
+            clock = dispatch_ms
+            scratch = []
+            for op in event_spec.operations:
+                clock = self._run_operation(
+                    app, op, clock, rng, timeline, scratch, handler_frame
+                )
+            return clock
+
+        records = looper.dispatch_all(handle, start_ms)
+        return records, timeline
+
+    def run_session(self, app, action_names, start_ms=0.0, gap_ms=2000.0):
+        """Execute a sequence of actions with idle gaps between them."""
+        executions = []
+        clock = start_ms
+        for name in action_names:
+            action = app.action(name)
+            execution = self.run_action(app, action, start_ms=clock)
+            executions.append(execution)
+            clock = execution.end_ms + gap_ms
+        return executions
+
+    # ------------------------------------------------------------------
+
+    def _run_operation(self, app, op, clock, rng, timeline, op_execs,
+                       handler_frame):
+        """Execute one operation; returns the new main-thread clock."""
+        api = op.api
+        duration, manifested = api.sample_duration_ms(
+            rng, environment=self.environment
+        )
+        base_pages = api.pages if manifested else api.pages_fast
+        # Content-size variance: how many fresh pages a call touches
+        # depends on the input (bitmap size, list length), not just on
+        # the API.
+        pages = int(base_pages * rng.lognormal(mean=0.0, sigma=0.6))
+        frames = op.stack_frames(app.package, handler_frame)
+
+        if op.on_worker:
+            # Main thread only pays the dispatch; the call itself runs
+            # concurrently on a worker thread (AsyncTask-style).
+            dispatch_end = clock + _WORKER_DISPATCH_MS
+            timeline.add(
+                Segment(
+                    thread=MAIN_THREAD,
+                    start_ms=clock,
+                    end_ms=dispatch_end,
+                    frames=frames[:2],
+                    counts=self._counts(
+                        ApiKind.LIGHT, MAIN_THREAD, _WORKER_DISPATCH_MS,
+                        _WORKER_DISPATCH_MS * 0.9, 2, _RENDER_UARCH, rng
+                    ),
+                    op=op,
+                    cpu_ms=_WORKER_DISPATCH_MS * 0.9,
+                )
+            )
+            cpu_ms = duration * api.cpu_share
+            timeline.add(
+                Segment(
+                    thread=WORKER_THREAD,
+                    start_ms=dispatch_end,
+                    end_ms=dispatch_end + duration,
+                    frames=frames,
+                    counts=self._counts(
+                        api.kind, WORKER_THREAD, duration, cpu_ms, pages,
+                        api.uarch_profile(), rng,
+                        wait_chunk_override=api.wait_chunk_ms,
+                    ),
+                    op=op,
+                    cpu_ms=cpu_ms,
+                )
+            )
+            op_execs.append(
+                OperationExecution(
+                    op=op,
+                    thread=WORKER_THREAD,
+                    start_ms=dispatch_end,
+                    end_ms=dispatch_end + duration,
+                    manifested=manifested,
+                )
+            )
+            return dispatch_end
+
+        cpu_ms = duration * api.cpu_share
+        counts = self._counts(
+            api.kind, MAIN_THREAD, duration, cpu_ms, pages,
+            api.uarch_profile(), rng,
+            wait_chunk_override=api.wait_chunk_ms,
+        )
+        if api.network_bytes and manifested:
+            # TrafficStats-style accounting of main-thread sockets
+            # (the paper's footnote-2 extension reads this).
+            counts[NETWORK_BYTES_EVENT] = float(
+                api.network_bytes * rng.lognormal(0.0, 0.3)
+            )
+        timeline.add(
+            Segment(
+                thread=MAIN_THREAD,
+                start_ms=clock,
+                end_ms=clock + duration,
+                frames=frames,
+                counts=counts,
+                op=op,
+                cpu_ms=cpu_ms,
+            )
+        )
+        if api.render_share > 0:
+            # The render thread lags the main thread: the UI code first
+            # computes (positions, display lists) and only then commits
+            # frames — which is why the *early* part of a UI action
+            # looks bug-like (main busy, render idle; paper Figure 5).
+            render_lag = _RENDER_LAG_SHARE * duration
+            render_wall = (duration - render_lag) + self.device.vsync_period_ms
+            render_cpu = duration * api.render_share
+            render_pages = int(
+                pages * _RENDER_PAGE_FACTOR_PER_SHARE * api.render_share
+            )
+            timeline.add(
+                Segment(
+                    thread=RENDER_THREAD,
+                    start_ms=clock + render_lag,
+                    end_ms=clock + render_lag + render_wall,
+                    frames=(),
+                    counts=self._counts(
+                        ApiKind.UI, RENDER_THREAD, render_wall, render_cpu,
+                        render_pages, _RENDER_UARCH, rng
+                    ),
+                    op=op,
+                    cpu_ms=render_cpu,
+                )
+            )
+        op_execs.append(
+            OperationExecution(
+                op=op,
+                thread=MAIN_THREAD,
+                start_ms=clock,
+                end_ms=clock + duration,
+                manifested=manifested,
+            )
+        )
+        return clock + duration
+
+    def _settle(self, timeline, clock, rng):
+        """Brief post-action settling (render finishing queued frames).
+
+        The settle marks the end of the *action* (the window S-Checker
+        accumulates counters over); the ambient activity that follows —
+        animations, garbage collection, list prefetching — belongs to
+        the app's steady state, not to the action, but it is visible to
+        anything that monitors the process continuously (the paper's
+        utilization baselines sample /proc every 100 ms around the
+        clock, and their low thresholds fire on exactly this kind of
+        ordinary busy window).
+        """
+        settle_ms = float(self.device.vsync_period_ms)
+        render_cpu = settle_ms * 0.2
+        timeline.add(
+            Segment(
+                thread=RENDER_THREAD,
+                start_ms=clock,
+                end_ms=clock + settle_ms,
+                frames=(),
+                counts=self._counts(
+                    ApiKind.UI, RENDER_THREAD, settle_ms, render_cpu, 4,
+                    _RENDER_UARCH, rng
+                ),
+                op=None,
+                cpu_ms=render_cpu,
+            )
+        )
+        end_ms = clock + settle_ms
+        self._ambient(timeline, end_ms, rng)
+        return end_ms
+
+    def _ambient(self, timeline, clock, rng):
+        """Post-action ambient activity (after the action has ended)."""
+        ambient_ms = float(rng.uniform(400.0, 800.0))
+        main_cpu = ambient_ms * _AMBIENT_CPU_SHARE
+        timeline.add(
+            Segment(
+                thread=MAIN_THREAD,
+                start_ms=clock,
+                end_ms=clock + ambient_ms,
+                frames=(),
+                counts=self._counts(
+                    ApiKind.UI, MAIN_THREAD, ambient_ms, main_cpu, 60,
+                    _RENDER_UARCH, rng
+                ),
+                op=None,
+                cpu_ms=main_cpu,
+            )
+        )
+        render_cpu = ambient_ms * 0.15
+        timeline.add(
+            Segment(
+                thread=RENDER_THREAD,
+                start_ms=clock,
+                end_ms=clock + ambient_ms,
+                frames=(),
+                counts=self._counts(
+                    ApiKind.UI, RENDER_THREAD, ambient_ms, render_cpu, 40,
+                    _RENDER_UARCH, rng
+                ),
+                op=None,
+                cpu_ms=render_cpu,
+            )
+        )
+
+    def _counts(self, kind, thread, wall_ms, cpu_ms, pages, uarch, rng,
+                wait_chunk_override=None):
+        return self.counter_model.segment_counts(
+            kind=kind,
+            thread=thread,
+            wall_ms=wall_ms,
+            cpu_ms=cpu_ms,
+            pages=pages,
+            uarch=uarch,
+            rng=rng,
+            wait_chunk_override=wait_chunk_override,
+            dvfs=getattr(self, "_dvfs", None),
+        )

@@ -1,0 +1,80 @@
+"""Frame production and jank.
+
+Android renders one frame per vsync when the pipeline keeps up; a
+blocked main thread starves the render thread and frames drop ("jank").
+This module derives frame statistics from a simulated timeline: how
+many frames the display expected over a window, how many the render
+thread's CPU budget could produce, and the dropped remainder.
+
+Jank is the user-visible face of the soft hangs Hang Doctor hunts:
+a bug hang freezes frame production outright, while heavy UI work
+keeps producing (late) frames — which makes the dropped-frame ratio
+yet another signal separating the two classes.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.scheduler import RENDER_FRAME_CPU_MS
+from repro.sim.timeline import RENDER_THREAD
+
+
+@dataclass(frozen=True)
+class FrameStats:
+    """Frame accounting over one window."""
+
+    #: Frames the display expected (window / vsync period).
+    expected: float
+    #: Frames the render thread's CPU budget produced.
+    produced: float
+
+    @property
+    def dropped(self):
+        """Frames the display missed."""
+        return max(0.0, self.expected - self.produced)
+
+    @property
+    def jank_ratio(self):
+        """Fraction of expected frames dropped (0 = silky, 1 = frozen)."""
+        if self.expected <= 0:
+            return 0.0
+        return min(1.0, self.dropped / self.expected)
+
+
+def frame_stats(timeline, device, start_ms, end_ms):
+    """Frame statistics for [start, end) on a timeline."""
+    if end_ms < start_ms:
+        raise ValueError("end_ms must not precede start_ms")
+    span = end_ms - start_ms
+    expected = span / device.vsync_period_ms
+    render_cpu = timeline.cpu_ms(RENDER_THREAD, start_ms, end_ms)
+    produced = min(expected, render_cpu / RENDER_FRAME_CPU_MS)
+    return FrameStats(expected=expected, produced=produced)
+
+
+def execution_frame_stats(execution, device):
+    """Frame statistics over a whole action execution."""
+    return frame_stats(
+        execution.timeline, device, execution.start_ms, execution.end_ms
+    )
+
+
+def hang_frame_stats(execution, device):
+    """Frame statistics restricted to the execution's hang windows.
+
+    During a bug hang the render thread is starved, so the jank ratio
+    approaches 1; a UI hang keeps the render thread fed and drops far
+    fewer frames.
+    """
+    windows = [
+        (event.dispatch_ms, event.finish_ms)
+        for event in execution.hang_events()
+    ]
+    if not windows:
+        return FrameStats(expected=0.0, produced=0.0)
+    expected = 0.0
+    produced = 0.0
+    for start_ms, end_ms in windows:
+        stats = frame_stats(execution.timeline, device, start_ms, end_ms)
+        expected += stats.expected
+        produced += stats.produced
+    return FrameStats(expected=expected, produced=produced)

@@ -1,0 +1,112 @@
+"""Main-thread message loop.
+
+Android delivers user input to an app's main thread as messages on the
+``Looper`` queue; input events execute one at a time in FIFO order,
+which is exactly why a blocking operation freezes the UI.  Hang Doctor
+measures per-event response times by installing a logging printer via
+``Looper.setMessageLogging``, which Android invokes with a
+``>>>>> Dispatching to <target>`` line when a message is dequeued and a
+``<<<<< Finished`` line when it completes.
+
+This module reproduces that mechanism: the engine posts one
+:class:`Message` per input event and drains the queue through a
+handler; any number of logging printers observe dispatch boundaries
+with timestamps, which is all the response-time monitor needs.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+DISPATCH_PREFIX = ">>>>> Dispatching to "
+FINISH_PREFIX = "<<<<< Finished to "
+
+
+@dataclass(frozen=True)
+class Message:
+    """One queued input event."""
+
+    target: str
+    payload: object
+    enqueue_ms: float
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """Timing of one processed message."""
+
+    message: Message
+    dispatch_ms: float
+    finish_ms: float
+
+    @property
+    def response_time_ms(self):
+        """Processing time of the message (dequeue to finish), as
+        measured between the two ``setMessageLogging`` invocations."""
+        return self.finish_ms - self.dispatch_ms
+
+    @property
+    def latency_ms(self):
+        """End-to-end latency including time spent queued."""
+        return self.finish_ms - self.message.enqueue_ms
+
+
+class Looper:
+    """FIFO message queue with Android-style logging hooks."""
+
+    def __init__(self):
+        self._queue = deque()
+        self._printers = []
+
+    def set_message_logging(self, printer):
+        """Install a logging printer (``printer(line, time_ms)``).
+
+        Mirrors ``Looper.setMessageLogging``; multiple printers may be
+        installed (Hang Doctor plus e.g. a baseline under comparison).
+        Pass ``None`` to clear all printers.
+        """
+        if printer is None:
+            self._printers.clear()
+        else:
+            self._printers.append(printer)
+
+    def post(self, message):
+        """Enqueue a message."""
+        self._queue.append(message)
+
+    def pending(self):
+        """Number of queued messages."""
+        return len(self._queue)
+
+    def _log(self, line, time_ms):
+        for printer in self._printers:
+            printer(line, time_ms)
+
+    def dispatch_next(self, handler, now_ms):
+        """Dequeue and process one message.
+
+        *handler(message, dispatch_ms)* performs the work and returns
+        the finish time.  Returns a :class:`DispatchRecord`, or None if
+        the queue is empty.
+        """
+        if not self._queue:
+            return None
+        message = self._queue.popleft()
+        dispatch_ms = max(now_ms, message.enqueue_ms)
+        self._log(f"{DISPATCH_PREFIX}{message.target}", dispatch_ms)
+        finish_ms = handler(message, dispatch_ms)
+        if finish_ms < dispatch_ms:
+            raise ValueError("handler returned a finish time before dispatch")
+        self._log(f"{FINISH_PREFIX}{message.target}", finish_ms)
+        return DispatchRecord(
+            message=message, dispatch_ms=dispatch_ms, finish_ms=finish_ms
+        )
+
+    def dispatch_all(self, handler, now_ms):
+        """Drain the queue; returns the list of dispatch records."""
+        records = []
+        clock = now_ms
+        while self._queue:
+            record = self.dispatch_next(handler, clock)
+            records.append(record)
+            clock = record.finish_ms
+        return records

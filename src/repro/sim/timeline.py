@@ -1,0 +1,182 @@
+"""Execution timelines.
+
+A :class:`Timeline` records what each thread of an app did during a
+simulated interval as a list of :class:`Segment` objects.  A segment is
+one operation's occupancy of one thread: its wall-clock span, the stack
+frames active for its whole duration (a blocked operation keeps its
+frames on the stack), and the performance-event counts it accrued.
+
+Counter *queries* over arbitrary windows pro-rate each segment's counts
+by overlap fraction; whole-segment totals are exact.  This supports
+both end-of-action counter reads (S-Checker) and periodic sampling
+(Figure 5's time series, the utilization baselines).
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Canonical thread names used across the simulator.
+MAIN_THREAD = "main"
+RENDER_THREAD = "render"
+WORKER_THREAD = "worker"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One operation's occupancy of one thread."""
+
+    thread: str
+    start_ms: float
+    end_ms: float
+    #: Stack frames active during the segment (outermost first).  Empty
+    #: for synthetic idle/settle segments.
+    frames: Tuple = ()
+    #: Performance-event counts accrued over the whole segment.
+    counts: Dict[str, float] = field(default_factory=dict)
+    #: The Operation that produced the segment (None for settle work).
+    op: Optional[object] = None
+    #: CPU milliseconds consumed within the segment (<= wall duration).
+    cpu_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.end_ms < self.start_ms:
+            raise ValueError(
+                f"segment ends ({self.end_ms}) before it starts ({self.start_ms})"
+            )
+
+    @property
+    def duration_ms(self):
+        """Wall-clock duration of the segment."""
+        return self.end_ms - self.start_ms
+
+    def overlap_fraction(self, start_ms, end_ms):
+        """Fraction of the segment falling inside [start, end)."""
+        if self.duration_ms == 0:
+            return 1.0 if start_ms <= self.start_ms < end_ms else 0.0
+        lo = max(self.start_ms, start_ms)
+        hi = min(self.end_ms, end_ms)
+        if hi <= lo:
+            return 0.0
+        return (hi - lo) / self.duration_ms
+
+    def count_in(self, event, start_ms, end_ms):
+        """Pro-rated count of *event* inside [start, end)."""
+        total = self.counts.get(event, 0.0)
+        if total == 0.0:
+            return 0.0
+        return total * self.overlap_fraction(start_ms, end_ms)
+
+
+class Timeline:
+    """Per-thread sequence of execution segments with counter queries."""
+
+    def __init__(self):
+        self._segments = {}
+        self._starts = {}
+
+    def add(self, segment):
+        """Append a segment (segments per thread must be time-ordered)."""
+        per_thread = self._segments.setdefault(segment.thread, [])
+        starts = self._starts.setdefault(segment.thread, [])
+        if per_thread and segment.start_ms < per_thread[-1].start_ms:
+            raise ValueError(
+                f"segments on {segment.thread!r} must be added in start order"
+            )
+        per_thread.append(segment)
+        starts.append(segment.start_ms)
+        return segment
+
+    def extend(self, segments):
+        """Append several segments."""
+        for segment in segments:
+            self.add(segment)
+
+    def threads(self):
+        """Names of threads that have at least one segment."""
+        return sorted(self._segments)
+
+    def segments(self, thread=None):
+        """Segments of one thread, or of all threads in time order."""
+        if thread is not None:
+            return list(self._segments.get(thread, []))
+        merged = [seg for segs in self._segments.values() for seg in segs]
+        return sorted(merged, key=lambda seg: (seg.start_ms, seg.thread))
+
+    @property
+    def start_ms(self):
+        """Earliest segment start (0.0 for an empty timeline)."""
+        starts = [segs[0].start_ms for segs in self._segments.values() if segs]
+        return min(starts) if starts else 0.0
+
+    @property
+    def end_ms(self):
+        """Latest segment end (0.0 for an empty timeline)."""
+        ends = [
+            max(seg.end_ms for seg in segs)
+            for segs in self._segments.values()
+            if segs
+        ]
+        return max(ends) if ends else 0.0
+
+    def total(self, thread, event, start_ms=None, end_ms=None):
+        """Total count of *event* on *thread* within [start, end)."""
+        segments = self._segments.get(thread, [])
+        if not segments:
+            return 0.0
+        if start_ms is None and end_ms is None:
+            return sum(seg.counts.get(event, 0.0) for seg in segments)
+        lo = self.start_ms if start_ms is None else start_ms
+        hi = self.end_ms if end_ms is None else end_ms
+        return sum(seg.count_in(event, lo, hi) for seg in segments)
+
+    def difference(self, event, minuend, subtrahend, start_ms=None, end_ms=None):
+        """``total(minuend) - total(subtrahend)`` for one event."""
+        return self.total(minuend, event, start_ms, end_ms) - self.total(
+            subtrahend, event, start_ms, end_ms
+        )
+
+    def cpu_ms(self, thread, start_ms=None, end_ms=None):
+        """CPU milliseconds consumed by *thread* within [start, end)."""
+        segments = self._segments.get(thread, [])
+        if start_ms is None and end_ms is None:
+            return sum(seg.cpu_ms for seg in segments)
+        lo = self.start_ms if start_ms is None else start_ms
+        hi = self.end_ms if end_ms is None else end_ms
+        return sum(
+            seg.cpu_ms * seg.overlap_fraction(lo, hi) for seg in segments
+        )
+
+    def stack_at(self, thread, time_ms):
+        """Stack frames active on *thread* at *time_ms* (empty if idle)."""
+        segments = self._segments.get(thread, [])
+        starts = self._starts.get(thread, [])
+        if not segments:
+            return ()
+        index = bisect.bisect_right(starts, time_ms) - 1
+        # Walk backwards over overlapping candidates; the latest-started
+        # segment covering the instant wins (nested/settle work).
+        while index >= 0:
+            segment = segments[index]
+            if segment.start_ms <= time_ms < segment.end_ms:
+                return segment.frames
+            index -= 1
+        return ()
+
+    def segment_at(self, thread, time_ms):
+        """Segment active on *thread* at *time_ms*, or None."""
+        segments = self._segments.get(thread, [])
+        starts = self._starts.get(thread, [])
+        index = bisect.bisect_right(starts, time_ms) - 1
+        while index >= 0:
+            segment = segments[index]
+            if segment.start_ms <= time_ms < segment.end_ms:
+                return segment
+            index -= 1
+        return None
+
+    def merge(self, other):
+        """Append all segments of *other* (must not rewind any thread)."""
+        for segment in other.segments():
+            self.add(segment)
+        return self

@@ -1,0 +1,133 @@
+"""Test-bed runner and the lab-vs-wild coverage experiment.
+
+On a test bed, overhead is a non-issue (external power, no users), so
+the paper notes "the second phase of Hang Doctor may be sufficient":
+trace *every* soft hang and let the Trace Analyzer discard UI work.
+:class:`TestBedRunner` implements exactly that — a timeout detector
+whose UI-rooted detections are filtered out by trace analysis.
+
+:func:`lab_vs_wild` quantifies the paper's caveat: content-dependent
+bugs that manifest in the wild may never manifest on the lab's
+synthetic inputs, so in-lab testing complements but cannot replace
+in-the-wild detection.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.analysis.metrics import detected_bug_sites
+from repro.apps.sessions import SessionGenerator
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.runner import run_detector
+from repro.detectors.timeout import TimeoutDetector
+from repro.sim.engine import ExecutionEngine
+from repro.testbed.monkey import MonkeyInputGenerator
+
+
+class TestBedRunner:
+    """Phase-2-only detection over monkey-driven lab sessions."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, device, seed=0, timeout_ms=100.0):
+        self.device = device
+        self.seed = seed
+        self.timeout_ms = timeout_ms
+        self.monkey = MonkeyInputGenerator(seed=seed)
+
+    def run(self, app, event_count=200):
+        """Drive *app* with monkey inputs on a lab engine.
+
+        Returns the set of bug call sites whose hangs were traced and
+        attributed to a non-UI root cause.
+        """
+        engine = ExecutionEngine(self.device, seed=self.seed,
+                                 environment="lab")
+        detector = TimeoutDetector(app, timeout_ms=self.timeout_ms)
+        sequence = self.monkey.action_sequence(app, event_count)
+        executions = engine.run_session(
+            app, sequence, gap_ms=self.monkey.throttle_ms
+        )
+        run = run_detector(detector, executions)
+        # Phase-2 analysis: keep only detections whose root cause is
+        # not UI work (the Trace Analyzer's verdict).
+        bug_detections = [
+            d for d in run.detections if not d.root_is_ui
+        ]
+        return detected_bug_sites(app, bug_detections)
+
+
+@dataclass
+class LabReport:
+    """Lab-vs-wild bug coverage for a set of apps."""
+
+    #: app name -> (lab-found sites, wild-found sites, all bug sites)
+    per_app: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def lab_found(self):
+        """Bug sites the test bed found across all apps."""
+        return sum(len(lab) for lab, _, _ in self.per_app.values())
+
+    @property
+    def wild_found(self):
+        """Bug sites the in-the-wild run found across all apps."""
+        return sum(len(wild) for _, wild, _ in self.per_app.values())
+
+    @property
+    def total_bugs(self):
+        """Ground-truth bug sites across all apps."""
+        return sum(len(bugs) for _, _, bugs in self.per_app.values())
+
+    def missed_in_lab(self):
+        """Sites the wild run found but the lab never manifested."""
+        missed = []
+        for app_name, (lab, wild, _) in self.per_app.items():
+            for site in sorted(wild - lab):
+                missed.append((app_name, site))
+        return missed
+
+    def render(self):
+        """Human-readable coverage table."""
+        lines = [
+            "Test bed vs in-the-wild bug coverage",
+            f"{'app':16s}{'lab':>6}{'wild':>6}{'bugs':>6}",
+        ]
+        for app_name, (lab, wild, bugs) in self.per_app.items():
+            lines.append(
+                f"{app_name:16s}{len(lab):>6}{len(wild):>6}{len(bugs):>6}"
+            )
+        lines.append(
+            f"{'TOTAL':16s}{self.lab_found:>6}{self.wild_found:>6}"
+            f"{self.total_bugs:>6}"
+        )
+        return "\n".join(lines)
+
+
+def lab_vs_wild(apps, device, seed=0, lab_events=200, wild_users=3,
+                wild_actions_per_user=60):
+    """Compare in-lab (monkey, synthetic content) against in-the-wild
+    (real users, real content) bug coverage for *apps*."""
+    report = LabReport()
+    runner = TestBedRunner(device, seed=seed)
+    generator = SessionGenerator(seed=seed)
+    for app in apps:
+        lab_sites = runner.run(app, event_count=lab_events)
+
+        wild_engine = ExecutionEngine(device, seed=seed,
+                                      environment="wild")
+        doctor = HangDoctor(app, device, seed=seed)
+        wild_detections = []
+        for session in generator.fleet_sessions(
+                app, wild_users, wild_actions_per_user):
+            executions = wild_engine.run_session(
+                app, session.action_names, gap_ms=1000.0
+            )
+            wild_detections.extend(
+                run_detector(doctor, executions,
+                             device_id=session.user_id).detections
+            )
+        wild_sites = detected_bug_sites(app, wild_detections)
+        all_sites = {op.site_id for op in app.hang_bug_operations()}
+        report.per_app[app.name] = (lab_sites, wild_sites, all_sites)
+    return report

@@ -1,0 +1,33 @@
+"""Monkey-style automated input generation.
+
+Android's Monkey fires pseudo-random input events at an app; unlike a
+real user it has no preferences, so every action is (roughly) equally
+likely, and it never supplies meaningful content.  The generator only
+decides *which* actions run; the content gap is modelled by running
+the executions on a ``lab``-environment engine.
+"""
+
+from repro.base.rng import stream
+
+
+class MonkeyInputGenerator:
+    """Uniform pseudo-random action sequences (adb monkey style)."""
+
+    def __init__(self, seed=0, throttle_ms=300.0):
+        if throttle_ms < 0:
+            raise ValueError("throttle_ms must be >= 0")
+        self.seed = seed
+        #: Pause between injected events (monkey's --throttle flag).
+        self.throttle_ms = throttle_ms
+
+    def action_sequence(self, app, event_count):
+        """*event_count* uniformly drawn action names."""
+        rng = stream(self.seed, "monkey", app.name)
+        names = [action.name for action in app.actions]
+        indices = rng.integers(0, len(names), size=event_count)
+        return [names[i] for i in indices]
+
+    def coverage(self, app, event_count):
+        """Fraction of the app's actions a run of this length hits."""
+        sequence = self.action_sequence(app, event_count)
+        return len(set(sequence)) / len(app.actions)

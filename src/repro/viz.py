@@ -1,0 +1,103 @@
+"""Terminal plots for the paper's figures.
+
+Pure-text rendering (no plotting dependency): sorted-sample strip
+charts for Figure 4's distributions, dual time-series charts for
+Figure 5's traces, and horizontal bar charts for Figure 8's
+comparisons.  Every renderer returns a string, so outputs drop
+straight into benchmark archives and CI logs.
+"""
+
+from typing import Sequence
+
+#: Unicode eighth-blocks for smooth bars.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+#: Bar glyph for simple charts.
+_BAR = "█"
+
+
+def _scale(value, lo, hi, width):
+    if hi <= lo:
+        return 0
+    return max(0, min(width, int(round((value - lo) / (hi - lo) * width))))
+
+
+def hbar_chart(items, width=40, title=None, fmt="{:.2f}"):
+    """Horizontal bar chart over (label, value) pairs.
+
+    >>> print(hbar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a  ████  2.00
+    b  ██    1.00
+    """
+    items = list(items)
+    if not items:
+        return title or ""
+    label_width = max(len(str(label)) for label, _ in items)
+    hi = max(value for _, value in items)
+    lines = [] if title is None else [title]
+    for label, value in items:
+        bar = _BAR * _scale(value, 0.0, hi, width)
+        lines.append(
+            f"{str(label):<{label_width}}  {bar:<{width}}  "
+            f"{fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def strip_chart(values: Sequence[float], threshold=None, width=50,
+                label=""):
+    """One-line distribution strip: each sample becomes a column mark.
+
+    Samples are placed along the x-axis by value; a ``threshold`` is
+    drawn as ``|``.  Mirrors Figure 4's sorted-sample panels in one
+    line per class.
+    """
+    values = list(values)
+    if not values:
+        return f"{label} (no samples)"
+    lo = min(values + ([threshold] if threshold is not None else []))
+    hi = max(values + ([threshold] if threshold is not None else []))
+    cells = [" "] * (width + 1)
+    for value in values:
+        cells[_scale(value, lo, hi, width)] = "•"
+    if threshold is not None:
+        position = _scale(threshold, lo, hi, width)
+        cells[position] = "|" if cells[position] == " " else "┿"
+    return f"{label}{''.join(cells)}  [{lo:.3g} .. {hi:.3g}]"
+
+
+def distribution_panel(event, bug_values, ui_values, threshold,
+                       width=50):
+    """Figure 4-style panel: bug and UI strips around one threshold."""
+    lines = [f"{event} (threshold {threshold:.3g})"]
+    lines.append(strip_chart(bug_values, threshold, width, "  HB "))
+    lines.append(strip_chart(ui_values, threshold, width, "  UI "))
+    return "\n".join(lines)
+
+
+def series_chart(series, width=60, height=8, label=""):
+    """Down-sampled block chart of one (time, value) series."""
+    if not series:
+        return f"{label} (no data)"
+    values = [value for _, value in series]
+    hi = max(values) or 1.0
+    # Resample to the chart width.
+    step = max(1, len(values) // width)
+    sampled = [
+        max(values[i:i + step]) for i in range(0, len(values), step)
+    ]
+    rows = []
+    for level in range(height, 0, -1):
+        cutoff = hi * (level - 0.5) / height
+        row = "".join("█" if v >= cutoff else " " for v in sampled)
+        rows.append(f"  {row}")
+    rows.append("  " + "-" * len(sampled))
+    return "\n".join([f"{label} (max {hi:.3g})"] + rows)
+
+
+def dual_series_chart(main_series, render_series, width=60, height=6):
+    """Figure 5-style stacked main/render charts on one time base."""
+    return "\n".join([
+        series_chart(main_series, width, height, "main thread"),
+        series_chart(render_series, width, height, "render thread"),
+    ])

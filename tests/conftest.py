@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache the expensive artifacts (training
+samples, fleet sessions) so the suite stays fast while individual
+tests remain isolated through fresh engines/detectors where mutation
+matters.
+"""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.harness.training import (
+    collect_training_samples,
+    training_bug_cases,
+    training_ui_cases,
+)
+from repro.sim.device import LG_V10
+from repro.sim.engine import ExecutionEngine
+
+
+@pytest.fixture(scope="session")
+def device():
+    return LG_V10
+
+
+@pytest.fixture()
+def engine(device):
+    """A fresh engine per test (engines carry an execution counter)."""
+    return ExecutionEngine(device, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def k9():
+    return get_app("K9-mail")
+
+
+@pytest.fixture(scope="session")
+def andstatus():
+    return get_app("AndStatus")
+
+
+@pytest.fixture(scope="session")
+def camera_app():
+    return get_app("A Better Camera")
+
+
+@pytest.fixture(scope="session")
+def training_samples_diff(device):
+    """Labelled training samples (diff mode) shared across tests."""
+    engine = ExecutionEngine(device, seed=77)
+    cases = training_bug_cases() + training_ui_cases()
+    return collect_training_samples(engine, cases, runs_per_case=5)

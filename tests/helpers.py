@@ -1,0 +1,14 @@
+"""Shared test helpers."""
+
+
+def run_until(engine, app, action_name, predicate, attempts=60):
+    """Run an action until *predicate(execution)* holds."""
+    action = app.action(action_name)
+    for _ in range(attempts):
+        execution = engine.run_action(app, action)
+        if predicate(execution):
+            return execution
+    raise AssertionError(
+        f"no execution of {app.name}/{action_name} satisfied the predicate "
+        f"in {attempts} attempts"
+    )

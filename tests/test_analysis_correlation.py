@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    CounterSample,
+    correlate,
+    pearson,
+    ranked_events,
+)
+
+
+def sample(value, label, event="x"):
+    return CounterSample(values={event: value}, is_hang_bug=label)
+
+
+def test_pearson_perfect_positive():
+    assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+
+def test_pearson_zero_variance_returns_zero():
+    assert pearson([1, 1, 1], [0, 1, 0]) == 0.0
+
+
+def test_pearson_length_mismatch():
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])
+
+
+def test_pearson_needs_two_points():
+    with pytest.raises(ValueError):
+        pearson([1], [1])
+
+
+def test_pearson_matches_numpy():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=100)
+    y = 0.5 * x + rng.normal(size=100)
+    assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+def test_correlate_separating_event():
+    samples = [sample(10.0, True) for _ in range(5)]
+    samples += [sample(-10.0, False) for _ in range(5)]
+    coefficients = correlate(samples, events=("x",))
+    assert coefficients["x"] == pytest.approx(1.0)
+
+
+def test_correlate_uninformative_event():
+    samples = [sample(1.0, True), sample(1.0, False),
+               sample(1.0, True), sample(1.0, False)]
+    coefficients = correlate(samples, events=("x",))
+    assert coefficients["x"] == 0.0
+
+
+def test_correlate_needs_samples():
+    with pytest.raises(ValueError):
+        correlate([sample(1.0, True)], events=("x",))
+
+
+def test_ranked_events_descending():
+    coefficients = {"a": 0.2, "b": 0.9, "c": 0.5}
+    assert [e for e, _ in ranked_events(coefficients)] == ["b", "c", "a"]
+
+
+def test_ranked_events_top():
+    coefficients = {"a": 0.2, "b": 0.9, "c": 0.5}
+    assert len(ranked_events(coefficients, top=2)) == 2
+
+
+def test_training_samples_correlations_shape(training_samples_diff):
+    """On the real training set, kernel scheduling events dominate the
+    top of the ranking and microarchitectural events trail (paper's
+    Table 3 structure)."""
+    coefficients = correlate(training_samples_diff)
+    top5 = {event for event, _ in ranked_events(coefficients, top=5)}
+    kernel_schedulers = {
+        "context-switches", "task-clock", "cpu-clock", "page-faults",
+        "minor-faults", "cpu-migrations",
+    }
+    assert len(top5 & kernel_schedulers) >= 4
+    ranked = ranked_events(coefficients)
+    position = {event: index for index, (event, _) in enumerate(ranked)}
+    assert position["instructions"] > position["task-clock"]
+    assert position["cache-misses"] > position["context-switches"]

@@ -1,0 +1,136 @@
+"""Tests for repro.analysis.metrics (ground-truth scoring)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ConfusionCounts,
+    detected_bug_sites,
+    detection_matches_bug,
+    false_positive_actions,
+    match_detection,
+    traced_confusion,
+)
+from repro.detectors.base import ActionOutcome, Detection
+from repro.detectors.timeout import TimeoutDetector
+from repro.detectors.runner import run_detector
+from tests.helpers import run_until
+
+
+def make_detection(k9, root, action_name="open_email"):
+    return Detection(
+        detector="T", app_name=k9.name, action_name=action_name,
+        time_ms=0.0, response_time_ms=500.0, root=root,
+    )
+
+
+def test_confusion_precision_recall():
+    counts = ConfusionCounts(tp=8, fp=2, fn=2)
+    assert counts.precision == pytest.approx(0.8)
+    assert counts.recall == pytest.approx(0.8)
+
+
+def test_confusion_empty_is_zero():
+    counts = ConfusionCounts()
+    assert counts.precision == 0.0
+    assert counts.recall == 0.0
+
+
+def test_match_detection_by_leaf_frame(k9):
+    bug = k9.hang_bug_operations()[0]
+    detection = make_detection(k9, bug.api.leaf_frame())
+    assert match_detection(k9, detection) is not None
+    assert detection_matches_bug(k9, detection)
+
+
+def test_match_detection_by_caller_frame(k9):
+    bug = k9.hang_bug_operations()[0]
+    detection = make_detection(k9, bug.caller_frame(k9.package))
+    assert detection_matches_bug(k9, detection)
+
+
+def test_match_detection_by_entry_frame():
+    from repro.apps.catalog import get_app
+
+    sage = get_app("Sage Math")
+    nested = next(
+        op for op in sage.hang_bug_operations()
+        if op.api.entry_name is not None
+    )
+    detection = Detection(
+        detector="T", app_name=sage.name, action_name="cache_cell",
+        time_ms=0.0, response_time_ms=400.0, root=nested.api.entry_frame(),
+    )
+    assert detection_matches_bug(sage, detection)
+
+
+def test_unmatched_root_is_not_a_bug(k9):
+    from repro.base.frames import Frame
+
+    stranger = Frame("x.Y", "z", "Y.java", 1)
+    detection = make_detection(k9, stranger)
+    assert match_detection(k9, detection) is None
+    assert not detection_matches_bug(k9, detection)
+
+
+def test_none_root_is_not_a_bug(k9):
+    detection = make_detection(k9, None)
+    assert not detection_matches_bug(k9, detection)
+
+
+def test_ui_root_is_not_a_bug(k9):
+    ui_op = next(
+        op for op in k9.action("folders").operations() if op.api.is_ui
+    )
+    detection = make_detection(k9, ui_op.api.leaf_frame(), "folders")
+    assert match_detection(k9, detection) is not None
+    assert not detection_matches_bug(k9, detection)
+
+
+def test_detected_bug_sites_dedup(k9):
+    bug = k9.hang_bug_operations()[0]
+    detections = [make_detection(k9, bug.api.leaf_frame())] * 3
+    assert len(detected_bug_sites(k9, detections)) == 1
+
+
+def test_false_positive_actions(k9):
+    ui_op = next(
+        op for op in k9.action("folders").operations() if op.api.is_ui
+    )
+    detections = [make_detection(k9, ui_op.api.leaf_frame(), "folders")]
+    assert false_positive_actions(k9, detections) == {"folders"}
+
+
+def test_traced_confusion_alignment_check():
+    with pytest.raises(ValueError):
+        traced_confusion([1, 2], [ActionOutcome()])
+
+
+def test_traced_confusion_on_real_run(engine, k9):
+    executions = engine.run_session(
+        k9, ["open_email", "folders"] * 8, gap_ms=500.0
+    )
+    run = run_detector(TimeoutDetector(k9), executions)
+    counts = run.confusion()
+    bug_hangs = sum(
+        1 for ex in executions for event in ex.hang_events()
+        if event.dominant_op() is not None
+        and event.dominant_op().op.is_hang_bug
+    )
+    assert counts.tp == bug_hangs
+    assert counts.fn == 0
+    assert counts.fp > 0  # UI hangs traced
+
+
+def test_traced_confusion_episode_not_overlapping_bug_is_fp(engine, k9):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    outcome = ActionOutcome()
+    # An episode entirely outside any hang window.
+    outcome.trace_episodes.append(
+        (execution.end_ms + 1000.0, execution.end_ms + 1100.0)
+    )
+    counts = traced_confusion([execution], [outcome])
+    assert counts.fp == 1
+    assert counts.tp == 0
+    assert counts.fn >= 1

@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.overhead (the cost model)."""
+
+import pytest
+
+from repro.analysis.overhead import OverheadModel, app_baseline
+from repro.detectors.base import MonitoringCost
+
+
+def test_zero_cost_zero_overhead():
+    model = OverheadModel()
+    result = model.overhead(MonitoringCost(), 1000.0, 1000.0)
+    assert result.cpu_percent == 0.0
+    assert result.memory_percent == 0.0
+
+
+def test_overhead_requires_positive_baseline():
+    model = OverheadModel()
+    with pytest.raises(ValueError):
+        model.overhead(MonitoringCost(), 0.0, 100.0)
+
+
+def test_monitor_cpu_composition():
+    model = OverheadModel()
+    cost = MonitoringCost(rt_events=10, trace_samples=100)
+    expected = 10 * model.rt_event_cpu_ms + 100 * model.trace_sample_cpu_ms
+    assert model.monitor_cpu_ms(cost) == pytest.approx(expected)
+
+
+def test_util_sample_costs_more_than_counter_read():
+    """The paper's rationale for performance events over /proc
+    utilizations: counter access is far cheaper."""
+    model = OverheadModel()
+    assert model.util_sample_cpu_ms > 5 * model.counter_read_cpu_ms
+
+
+def test_trace_sample_is_the_expensive_unit():
+    model = OverheadModel()
+    assert model.trace_sample_cpu_ms > 50 * model.rt_event_cpu_ms
+
+
+def test_average_percent():
+    model = OverheadModel()
+    cost = MonitoringCost(trace_samples=100)
+    result = model.overhead(cost, 1000.0, 1000.0)
+    assert result.average_percent == pytest.approx(
+        (result.cpu_percent + result.memory_percent) / 2
+    )
+
+
+def test_app_baseline_positive(engine, k9):
+    executions = engine.run_session(k9, ["open_email"], gap_ms=0.0)
+    cpu_ms, mem_kb = app_baseline(executions)
+    assert cpu_ms > 0
+    assert mem_kb > 0
+
+
+def test_app_baseline_includes_all_threads(engine, k9):
+    executions = engine.run_session(k9, ["folders"], gap_ms=0.0)
+    cpu_ms, _ = app_baseline(executions)
+    main_only = executions[0].timeline.cpu_ms("main")
+    assert cpu_ms > main_only
+
+
+def test_overhead_scales_linearly_with_cost():
+    model = OverheadModel()
+    small = model.overhead(MonitoringCost(trace_samples=10), 1e4, 1e4)
+    large = model.overhead(MonitoringCost(trace_samples=100), 1e4, 1e4)
+    assert large.cpu_percent == pytest.approx(10 * small.cpu_percent)

@@ -1,0 +1,84 @@
+"""Tests for repro.analysis.roc (threshold sweeps)."""
+
+import pytest
+
+from repro.analysis.correlation import CounterSample
+from repro.analysis.roc import auc_ranking, roc_curve
+
+
+def sample(value, label, event="e"):
+    return CounterSample(values={event: value}, is_hang_bug=label)
+
+
+def separable():
+    return [sample(10.0 + i, True) for i in range(5)] + [
+        sample(-10.0 - i, False) for i in range(5)
+    ]
+
+
+def test_perfect_separation_auc_one():
+    curve = roc_curve(separable(), "e")
+    assert curve.auc == pytest.approx(1.0)
+
+
+def test_uninformative_auc_half():
+    samples = [sample(float(i), i % 2 == 0) for i in range(40)]
+    curve = roc_curve(samples, "e")
+    assert curve.auc == pytest.approx(0.5, abs=0.12)
+
+
+def test_points_bounded_and_monotone_ends():
+    curve = roc_curve(separable(), "e")
+    assert curve.points[0] == (0.0, 0.0)
+    assert curve.points[-1] == (1.0, 1.0)
+    for fpr, tpr in curve.points:
+        assert 0.0 <= fpr <= 1.0
+        assert 0.0 <= tpr <= 1.0
+
+
+def test_tpr_at_fpr():
+    curve = roc_curve(separable(), "e")
+    assert curve.tpr_at_fpr(0.0) == pytest.approx(1.0)
+
+
+def test_needs_both_classes():
+    with pytest.raises(ValueError):
+        roc_curve([sample(1.0, True)], "e")
+
+
+def test_operating_point():
+    samples = separable()
+    curve = roc_curve(samples, "e")
+    pairs = [(s.values["e"], s.is_hang_bug) for s in samples]
+    fpr, tpr = curve.operating_point(pairs, threshold=0.0)
+    assert (fpr, tpr) == (0.0, 1.0)
+
+
+def test_auc_ranking_orders_events():
+    samples = []
+    for i in range(10):
+        label = i % 2 == 0
+        samples.append(CounterSample(
+            values={"good": 10.0 if label else -10.0,
+                    "noise": float(i % 3)},
+            is_hang_bug=label,
+        ))
+    ranking = auc_ranking(samples, ("noise", "good"))
+    assert ranking[0][0] == "good"
+
+
+def test_filter_events_have_high_auc(training_samples_diff):
+    """The shipped filter events all separate bug hangs from UI hangs
+    far better than chance on the real training set."""
+    for event in ("context-switches", "task-clock", "page-faults"):
+        curve = roc_curve(training_samples_diff, event)
+        assert curve.auc > 0.75, event
+
+
+def test_kernel_events_beat_uarch_events_on_auc(training_samples_diff):
+    ranking = dict(auc_ranking(
+        training_samples_diff,
+        ("task-clock", "context-switches", "instructions", "cache-misses"),
+    ))
+    assert ranking["task-clock"] > ranking["instructions"]
+    assert ranking["context-switches"] > ranking["cache-misses"]

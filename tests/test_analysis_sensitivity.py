@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.sensitivity."""
+
+import pytest
+
+from repro.analysis.correlation import CounterSample
+from repro.analysis.sensitivity import (
+    sensitivity_analysis,
+    subsample,
+)
+
+
+def make_samples(n=40):
+    samples = []
+    for index in range(n):
+        label = index % 2 == 0
+        samples.append(
+            CounterSample(
+                values={"x": 10.0 if label else -10.0, "y": float(index)},
+                is_hang_bug=label,
+            )
+        )
+    return samples
+
+
+def test_subsample_size():
+    samples = make_samples(40)
+    subset = subsample(samples, 0.5, seed=1)
+    assert len(subset) == 20
+
+
+def test_subsample_fraction_validation():
+    with pytest.raises(ValueError):
+        subsample(make_samples(), 0.0)
+
+
+def test_subsample_deterministic():
+    samples = make_samples(40)
+    first = subsample(samples, 0.75, seed=2)
+    second = subsample(samples, 0.75, seed=2)
+    assert first == second
+
+
+def test_subsample_keeps_both_labels():
+    samples = make_samples(40)
+    for seed in range(10):
+        subset = subsample(samples, 0.25, seed=seed)
+        labels = {s.is_hang_bug for s in subset}
+        assert labels == {True, False}
+
+
+def test_sensitivity_rankings_per_fraction():
+    samples = make_samples(60)
+    result = sensitivity_analysis(
+        samples, fractions=(1.0, 0.5), events=("x", "y")
+    )
+    assert set(result.rankings) == {1.0, 0.5}
+    assert result.top_events(1.0, k=1) == ["x"]
+    assert result.top_events(0.5, k=1) == ["x"]
+
+
+def test_stable_top_k_on_separable_data():
+    samples = make_samples(60)
+    result = sensitivity_analysis(
+        samples, fractions=(1.0, 0.75, 0.5), events=("x", "y")
+    )
+    assert result.stable_top_k(k=1)
+
+
+def test_real_training_set_top5_family_is_stable(training_samples_diff):
+    """Paper Table 4: the most correlated events keep their positions
+    across 75 % and 50 % training subsets (allowing the cpu-clock /
+    task-clock and page/minor-fault twins to swap within the family)."""
+    result = sensitivity_analysis(training_samples_diff, seed=3)
+    tops = {
+        fraction: set(result.top_events(fraction, k=5))
+        for fraction in result.rankings
+    }
+    kernel_schedulers = {
+        "context-switches", "task-clock", "cpu-clock", "page-faults",
+        "minor-faults", "cpu-migrations",
+    }
+    for fraction, top in tops.items():
+        assert len(top & kernel_schedulers) >= 4, (fraction, top)

@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.summary."""
+
+import pytest
+
+from repro.analysis.summary import (
+    DetectorSummary,
+    render_summaries,
+    summarize_run,
+    summarize_runs,
+)
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.runner import run_detectors
+from repro.detectors.timeout import TimeoutDetector
+
+
+def test_precision_recall_f1():
+    summary = DetectorSummary(name="X", tp=8, fp=2, fn=2,
+                              overhead_percent=1.0)
+    assert summary.precision == pytest.approx(0.8)
+    assert summary.recall == pytest.approx(0.8)
+    assert summary.f1 == pytest.approx(0.8)
+
+
+def test_degenerate_summary():
+    summary = DetectorSummary(name="X", tp=0, fp=0, fn=0,
+                              overhead_percent=0.0)
+    assert summary.precision == 0.0
+    assert summary.recall == 0.0
+    assert summary.f1 == 0.0
+
+
+def test_summarize_real_runs(device, engine, k9):
+    executions = engine.run_session(
+        k9, ["open_email", "folders"] * 10, gap_ms=500.0
+    )
+    runs = run_detectors(
+        [TimeoutDetector(k9), HangDoctor(k9, device, seed=1)], executions
+    )
+    summaries = summarize_runs(runs)
+    by_name = {s.name: s for s in summaries}
+    assert by_name["HD"].precision > by_name["TI"].precision
+    assert by_name["TI"].recall == 1.0
+    assert by_name["HD"].overhead_percent < by_name["TI"].overhead_percent
+
+
+def test_summaries_sorted_by_f1(device, engine, k9):
+    executions = engine.run_session(
+        k9, ["open_email", "folders"] * 8, gap_ms=500.0
+    )
+    runs = run_detectors(
+        [TimeoutDetector(k9), HangDoctor(k9, device, seed=1)], executions
+    )
+    summaries = summarize_runs(runs)
+    f1s = [s.f1 for s in summaries]
+    assert f1s == sorted(f1s, reverse=True)
+
+
+def test_render_summaries():
+    text = render_summaries([
+        DetectorSummary(name="HD", tp=10, fp=1, fn=2,
+                        overhead_percent=0.8),
+    ])
+    assert "HD" in text
+    assert "precision" in text

@@ -1,0 +1,128 @@
+"""Tests for repro.analysis.thresholds (filter fitting)."""
+
+import pytest
+
+from repro.analysis.correlation import CounterSample
+from repro.analysis.thresholds import FilterFit, fit_filter, fit_threshold
+
+
+def sample(values, label):
+    return CounterSample(values=values, is_hang_bug=label)
+
+
+def separable_samples():
+    bugs = [sample({"a": 10.0 + i, "b": 0.0}, True) for i in range(5)]
+    uis = [sample({"a": -10.0 - i, "b": 0.0}, False) for i in range(5)]
+    return bugs + uis
+
+
+def test_fit_threshold_separates_cleanly():
+    threshold, cost = fit_threshold(separable_samples(), "a")
+    assert -10.0 < threshold < 10.0
+    assert cost == 0
+
+
+def test_fit_threshold_no_samples():
+    with pytest.raises(ValueError):
+        fit_threshold([], "a")
+
+
+def test_fires_strictly_greater():
+    fit = FilterFit(thresholds={"a": 5.0})
+    assert not fit.fires({"a": 5.0})
+    assert fit.fires({"a": 5.1})
+
+
+def test_fires_or_semantics():
+    fit = FilterFit(thresholds={"a": 5.0, "b": 100.0})
+    assert fit.fires({"a": 0.0, "b": 200.0})
+    assert not fit.fires({"a": 0.0, "b": 0.0})
+
+
+def test_confusion_counts():
+    fit = FilterFit(thresholds={"a": 0.0})
+    samples = [
+        sample({"a": 1.0}, True),   # tp
+        sample({"a": -1.0}, True),  # fn
+        sample({"a": 1.0}, False),  # fp
+        sample({"a": -1.0}, False)  # tn
+    ]
+    assert fit.confusion(samples) == (1, 1, 1, 1)
+    assert fit.accuracy(samples) == 0.5
+    assert fit.false_positive_prune_rate(samples) == 0.5
+
+
+def test_fit_filter_single_event_when_separable():
+    fit = fit_filter(separable_samples(), ["a", "b"])
+    assert list(fit.thresholds) == ["a"]
+
+
+def test_fit_filter_adds_events_until_coverage():
+    # Bug 1 visible only on "a"; bug 2 sits BELOW the UI values on "a"
+    # (covering it there would cost three false positives) but is
+    # clearly visible on "b".
+    samples = [
+        sample({"a": 10.0, "b": -5.0}, True),
+        sample({"a": -20.0, "b": 10.0}, True),
+        sample({"a": -10.0, "b": -10.0}, False),
+        sample({"a": -12.0, "b": -12.0}, False),
+        sample({"a": -14.0, "b": -14.0}, False),
+    ]
+    fit = fit_filter(samples, ["a", "b"])
+    assert set(fit.thresholds) == {"a", "b"}
+    tp, fp, fn, tn = fit.confusion(samples)
+    assert fn == 0
+
+
+def test_fit_filter_skips_near_duplicates():
+    # "a2" mirrors "a" exactly; "b" catches the remaining bug.
+    samples = [
+        sample({"a": 10.0, "a2": 20.0, "b": -5.0}, True),
+        sample({"a": -20.0, "a2": -40.0, "b": 10.0}, True),
+        sample({"a": -10.0, "a2": -20.0, "b": -10.0}, False),
+        sample({"a": -12.0, "a2": -24.0, "b": -12.0}, False),
+        sample({"a": -14.0, "a2": -28.0, "b": -14.0}, False),
+    ]
+    fit = fit_filter(samples, ["a", "a2", "b"])
+    assert "a2" not in fit.thresholds
+    assert set(fit.thresholds) == {"a", "b"}
+
+
+def test_fit_filter_respects_max_events():
+    samples = [
+        sample({"a": 10.0, "b": -5.0}, True),
+        sample({"a": -5.0, "b": 10.0}, True),
+        sample({"a": -10.0, "b": -10.0}, False),
+    ]
+    fit = fit_filter(samples, ["a", "b"], max_events=1)
+    assert list(fit.thresholds) == ["a"]
+
+
+def test_fit_on_training_selects_kernel_scheduling_events(
+        training_samples_diff):
+    """On the real training set the procedure selects a small OR-filter
+    over kernel scheduling events (the paper's structure: at most a
+    handful of events, led by the task-clock/cpu-clock family, all from
+    the OS-scheduling group, never microarchitectural ones)."""
+    from repro.analysis.correlation import correlate, ranked_events
+
+    ranked = [e for e, _ in ranked_events(correlate(training_samples_diff))]
+    fit = fit_filter(training_samples_diff, ranked)
+    chosen = set(fit.thresholds)
+    kernel_schedulers = {
+        "context-switches", "task-clock", "cpu-clock", "page-faults",
+        "minor-faults", "cpu-migrations", "major-faults",
+    }
+    assert chosen <= kernel_schedulers
+    assert 2 <= len(chosen) <= 4
+    assert chosen & {"task-clock", "cpu-clock"}
+
+
+def test_fitted_filter_has_full_training_recall(training_samples_diff):
+    from repro.analysis.correlation import correlate, ranked_events
+
+    ranked = [e for e, _ in ranked_events(correlate(training_samples_diff))]
+    fit = fit_filter(training_samples_diff, ranked)
+    tp, fp, fn, tn = fit.confusion(training_samples_diff)
+    assert fn == 0
+    assert fit.false_positive_prune_rate(training_samples_diff) > 0.5

@@ -1,0 +1,136 @@
+"""Tests for repro.apps.app (operations, actions, apps)."""
+
+import pytest
+
+from repro.apps import android_apis as apis
+from repro.apps.app import (
+    ActionSpec,
+    AppSpec,
+    InputEventSpec,
+    Operation,
+    simple_action,
+    simple_event,
+)
+from repro.apps.catalog_helpers import action, op
+
+
+def make_app():
+    buggy = action(
+        "load", "onClick",
+        op(apis.DB_QUERY, "loadItems", "Loader.java"),
+        op(apis.SET_TEXT, "showItems", "Loader.java"),
+    )
+    clean = action("scroll", "onScroll", op(apis.SMOOTH_SCROLL, "scrollList"))
+    return AppSpec(name="Demo", package="com.demo", category="Tools",
+                   downloads=10, commit="abc1234", actions=(buggy, clean))
+
+
+def test_operation_is_hang_bug():
+    bug = op(apis.DB_QUERY, "loadItems")
+    assert bug.is_hang_bug
+    ui = op(apis.SET_TEXT, "showItems")
+    assert not ui.is_hang_bug
+
+
+def test_worker_operation_is_not_a_bug():
+    from dataclasses import replace
+
+    bug = op(apis.DB_QUERY, "loadItems")
+    moved = replace(bug, on_worker=True)
+    assert not moved.is_hang_bug
+
+
+def test_site_id_distinguishes_call_sites():
+    first = op(apis.DB_QUERY, "loadItems", "Loader.java")
+    second = op(apis.DB_QUERY, "refreshItems", "Loader.java")
+    assert first.site_id != second.site_id
+
+
+def test_stack_frames_order():
+    app = make_app()
+    load = app.action("load")
+    bug = load.operations()[0]
+    frames = bug.stack_frames("com.demo", load.handler_frame("com.demo"))
+    assert frames[0].method == "onClick"
+    assert frames[1].method == "loadItems"
+    assert frames[-1].method == "query"
+
+
+def test_empty_event_rejected():
+    with pytest.raises(ValueError):
+        InputEventSpec(name="empty", operations=())
+
+
+def test_empty_action_rejected():
+    with pytest.raises(ValueError):
+        ActionSpec(name="empty", handler="onClick", events=())
+
+
+def test_duplicate_action_names_rejected():
+    a = simple_action("same", "onClick", op(apis.SET_TEXT, "x"))
+    with pytest.raises(ValueError):
+        AppSpec(name="Bad", package="b", category="Tools", downloads=1,
+                commit="c", actions=(a, a))
+
+
+def test_action_lookup():
+    app = make_app()
+    assert app.action("load").name == "load"
+    with pytest.raises(KeyError):
+        app.action("missing")
+
+
+def test_hang_bug_operations_deduplicated():
+    app = make_app()
+    bugs = app.hang_bug_operations()
+    assert len(bugs) == 1
+    assert bugs[0].api.name == "query"
+
+
+def test_has_hang_bugs():
+    assert make_app().has_hang_bugs()
+
+
+def test_fixed_moves_all_bugs():
+    fixed = make_app().fixed()
+    assert not fixed.has_hang_bugs()
+    moved = [o for o in fixed.action("load").operations() if o.on_worker]
+    assert len(moved) == 1
+
+
+def test_fixed_never_moves_ui_operations():
+    fixed = make_app().fixed()
+    for app_action in fixed.actions:
+        for operation in app_action.operations():
+            if operation.api.is_ui:
+                assert not operation.on_worker
+
+
+def test_fixed_with_site_filter():
+    app = make_app()
+    other_site = "nonexistent"
+    unchanged = app.fixed(site_ids={other_site})
+    assert unchanged.has_hang_bugs()
+
+
+def test_operation_by_site():
+    app = make_app()
+    bug = app.hang_bug_operations()[0]
+    assert app.operation_by_site(bug.site_id) == bug
+    with pytest.raises(KeyError):
+        app.operation_by_site("missing")
+
+
+def test_simple_event_and_action_builders():
+    operation = op(apis.SET_TEXT, "x")
+    event = simple_event("e", operation)
+    assert event.operations == (operation,)
+    act = simple_action("a", "onClick", operation)
+    assert len(act.events) == 1
+
+
+def test_handler_frame_names_activity():
+    act = simple_action("open_post", "onItemClick", op(apis.SET_TEXT, "x"))
+    frame = act.handler_frame("com.demo")
+    assert "OpenPostActivity" in frame.clazz
+    assert frame.method == "onItemClick"

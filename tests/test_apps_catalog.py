@@ -1,0 +1,145 @@
+"""Tests for repro.apps.catalog — the paper's Table 5 inventory."""
+
+import pytest
+
+from repro.apps.catalog import NAMED_APPS, TABLE5_APPS, get_app
+from repro.apps.motivation import MOTIVATION_APPS
+from repro.detectors.offline import OfflineScanner
+
+#: Table 5's BD (bugs detected) and MO (missed offline) per app.
+PAPER_TABLE5 = {
+    "AndStatus": (3, 2),
+    "DashClock": (1, 0),
+    "CycleStreets": (4, 3),
+    "K9-mail": (2, 2),
+    "Omni-Notes": (3, 3),
+    "OwnTracks": (1, 0),
+    "QKSMS": (3, 3),
+    "StickerCamera": (3, 0),
+    "AntennaPod": (3, 2),
+    "Merchant": (1, 1),
+    "UOITDC Booking": (2, 2),
+    "Sage Math": (3, 2),
+    "RadioDroid": (2, 1),
+    "Git@OSC": (1, 1),
+    "Lens-Launcher": (1, 0),
+    "SkyTube": (1, 1),
+}
+
+
+def test_sixteen_table5_apps():
+    assert len(TABLE5_APPS) == 16
+    assert {app.name for app in TABLE5_APPS} == set(PAPER_TABLE5)
+
+
+@pytest.mark.parametrize("app_name", sorted(PAPER_TABLE5))
+def test_per_app_bug_count_matches_table5(app_name):
+    expected_bd, _ = PAPER_TABLE5[app_name]
+    app = get_app(app_name)
+    assert len(app.hang_bug_operations()) == expected_bd
+
+
+@pytest.mark.parametrize("app_name", sorted(PAPER_TABLE5))
+def test_per_app_missed_offline_matches_table5(app_name):
+    _, expected_mo = PAPER_TABLE5[app_name]
+    scanner = OfflineScanner()
+    app = get_app(app_name)
+    assert len(scanner.missed_bugs(app)) == expected_mo
+
+
+def test_total_bugs_34_and_missed_23():
+    total = sum(len(app.hang_bug_operations()) for app in TABLE5_APPS)
+    scanner = OfflineScanner()
+    missed = sum(len(scanner.missed_bugs(app)) for app in TABLE5_APPS)
+    assert total == 34
+    assert missed == 23
+    assert missed / total == pytest.approx(0.68, abs=0.01)
+
+
+def test_confirmed_share_is_62_percent():
+    confirmed = 0
+    total = 0
+    for app in TABLE5_APPS:
+        for report in app.bug_reports:
+            total += 1
+            confirmed += report.confirmed_by_developer
+    assert total == 34
+    assert confirmed / total == pytest.approx(0.62, abs=0.02)
+
+
+def test_bug_reports_cover_every_bug_site():
+    for app in TABLE5_APPS:
+        report_sites = {report.site_id for report in app.bug_reports}
+        bug_sites = {op.site_id for op in app.hang_bug_operations()}
+        assert report_sites == bug_sites
+
+
+def test_every_app_has_a_ui_only_action():
+    for app in TABLE5_APPS:
+        ui_only = [
+            action for action in app.actions
+            if not action.hang_bug_operations()
+        ]
+        assert ui_only, f"{app.name} has no UI-only action"
+
+
+def test_paper_examples_present():
+    k9 = get_app("K9-mail")
+    assert any(
+        op.api.qualified_name == "org.htmlcleaner.HtmlCleaner.clean"
+        for op in k9.hang_bug_operations()
+    )
+    sage = get_app("Sage Math")
+    names = [op.api.qualified_name for op in sage.hang_bug_operations()]
+    assert names.count("com.google.gson.Gson.toJson") == 2
+    assert (
+        "android.database.sqlite.SQLiteDatabase.insertWithOnConflict"
+        in names
+    )
+
+
+def test_nested_library_cases():
+    """OwnTracks, Sage Math, Lens-Launcher hide known APIs in libraries
+    (paper §4.2: 3 of the 11 known-API bugs are library-nested)."""
+    nested = 0
+    for app_name in ("OwnTracks", "Sage Math", "Lens-Launcher"):
+        app = get_app(app_name)
+        for op in app.hang_bug_operations():
+            if op.api.known_blocking and op.api.entry_name is not None:
+                nested += 1
+    assert nested == 3
+
+
+def test_unknown_bug_apis_not_in_initial_database():
+    from repro.core.blocking_db import BlockingApiDatabase
+
+    db = BlockingApiDatabase.initial()
+    scanner = OfflineScanner()
+    for app in TABLE5_APPS:
+        for op in scanner.missed_bugs(app):
+            assert not db.knows(op.api.qualified_name), (
+                f"{op.api.qualified_name} should be unknown"
+            )
+
+
+def test_get_app_unknown_name():
+    with pytest.raises(KeyError):
+        get_app("Instagram")
+
+
+def test_named_apps_include_motivation_apps():
+    for app in MOTIVATION_APPS:
+        assert NAMED_APPS[app.name] is app
+
+
+def test_issue_ids_match_paper():
+    expected = {
+        "AndStatus": 303, "DashClock": 874, "CycleStreets": 117,
+        "K9-mail": 1007, "Omni-Notes": 253, "OwnTracks": 303,
+        "QKSMS": 382, "StickerCamera": 29, "AntennaPod": 1921,
+        "Merchant": 17, "UOITDC Booking": 3, "Sage Math": 84,
+        "RadioDroid": 29, "Git@OSC": 89, "Lens-Launcher": 15,
+        "SkyTube": 88,
+    }
+    for name, issue in expected.items():
+        assert get_app(name).issue_id == issue

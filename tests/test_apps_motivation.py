@@ -1,0 +1,84 @@
+"""Tests for repro.apps.motivation — the paper's Table 1 inventory."""
+
+import pytest
+
+from repro.apps.motivation import MOTIVATION_APPS
+
+#: Known-bug counts per Table 2's TP@100ms column.
+PAPER_BUGS = {
+    "DroidWall": 1,
+    "FrostWire": 1,
+    "Ushaidi": 2,
+    "WebSMS": 1,
+    "cgeo": 5,
+    "SeaDroid": 1,
+    "FBReaderJ": 6,
+    "A Better Camera": 2,
+}
+
+
+def get(name):
+    return next(app for app in MOTIVATION_APPS if app.name == name)
+
+
+def test_eight_motivation_apps():
+    assert len(MOTIVATION_APPS) == 8
+    assert {app.name for app in MOTIVATION_APPS} == set(PAPER_BUGS)
+
+
+@pytest.mark.parametrize("app_name", sorted(PAPER_BUGS))
+def test_bug_counts(app_name):
+    assert len(get(app_name).hang_bug_operations()) == PAPER_BUGS[app_name]
+
+
+def test_total_19_bugs():
+    assert sum(
+        len(app.hang_bug_operations()) for app in MOTIVATION_APPS
+    ) == 19
+
+
+def test_all_motivation_bugs_are_known_blocking():
+    """Table 1 apps have *well-known* bugs (detectable offline)."""
+    for app in MOTIVATION_APPS:
+        for op in app.hang_bug_operations():
+            assert op.api.known_blocking, (
+                f"{app.name}: {op.api.qualified_name} should be known"
+            )
+
+
+def test_seadroid_bug_survives_one_second_timeout():
+    """Table 2: only SeaDroid's bug is caught at the 1 s timeout."""
+    seadroid_bug = get("SeaDroid").hang_bug_operations()[0]
+    assert seadroid_bug.api.mean_ms > 1000.0
+    for app in MOTIVATION_APPS:
+        if app.name == "SeaDroid":
+            continue
+        for op in app.hang_bug_operations():
+            assert op.api.mean_ms < 1000.0
+
+
+def test_frostwire_bug_survives_500ms_timeout():
+    frostwire_bug = get("FrostWire").hang_bug_operations()[0]
+    assert frostwire_bug.api.mean_ms > 500.0
+
+
+def test_figure1_resume_composition():
+    """A Better Camera's resume: camera APIs + four UI APIs, with
+    Camera.open the dominant ~263 ms operation (Figure 1)."""
+    resume = get("A Better Camera").action("resume")
+    ops = resume.operations()
+    names = [op.api.name for op in ops]
+    assert "open" in names
+    assert "setParameters" in names
+    open_op = next(op for op in ops if op.api.name == "open")
+    assert open_op.api.mean_ms == pytest.approx(263.0)
+    total = sum(op.api.mean_ms for op in ops)
+    assert total == pytest.approx(423.0, rel=0.05)
+
+
+def test_every_app_has_false_positive_ui_actions():
+    for app in MOTIVATION_APPS:
+        ui_actions = [
+            a for a in app.actions if not a.hang_bug_operations()
+        ]
+        assert len(ui_actions) >= 3, app.name

@@ -1,0 +1,77 @@
+"""Tests for repro.base.frames (frames, traces, occurrence factor)."""
+
+import pytest
+
+from repro.base.frames import Frame, StackTrace, occurrence_factor
+
+
+def make_frame(method="clean", clazz="org.htmlcleaner.HtmlCleaner"):
+    return Frame(clazz=clazz, method=method, file="HtmlCleaner.java", line=25)
+
+
+def test_qualified_name():
+    assert make_frame().qualified_name == "org.htmlcleaner.HtmlCleaner.clean"
+
+
+def test_str_includes_location():
+    assert str(make_frame()) == (
+        "org.htmlcleaner.HtmlCleaner.clean(HtmlCleaner.java:25)"
+    )
+
+
+def test_frames_hashable_and_equal():
+    assert make_frame() == make_frame()
+    assert len({make_frame(), make_frame()}) == 1
+
+
+def test_leaf_is_last_frame():
+    outer = make_frame(method="onItemClick")
+    inner = make_frame()
+    trace = StackTrace(time_ms=0.0, frames=(outer, inner))
+    assert trace.leaf == inner
+
+
+def test_leaf_of_idle_trace_is_none():
+    assert StackTrace(time_ms=0.0, frames=()).leaf is None
+
+
+def test_contains():
+    outer = make_frame(method="caller")
+    trace = StackTrace(time_ms=0.0, frames=(outer, make_frame()))
+    assert trace.contains(outer)
+    assert not trace.contains(make_frame(method="other"))
+
+
+def test_str_of_idle_trace():
+    assert str(StackTrace(time_ms=0.0, frames=())) == "<idle>"
+
+
+def test_str_lists_leaf_first():
+    outer = make_frame(method="outer")
+    inner = make_frame(method="inner")
+    rendered = str(StackTrace(time_ms=0.0, frames=(outer, inner)))
+    assert rendered.index("inner") < rendered.index("outer")
+
+
+def test_occurrence_factor_counts_any_position():
+    frame = make_frame()
+    traces = [
+        StackTrace(time_ms=0.0, frames=(frame, make_frame(method="x"))),
+        StackTrace(time_ms=1.0, frames=(make_frame(method="y"),)),
+        StackTrace(time_ms=2.0, frames=(frame,)),
+        StackTrace(time_ms=3.0, frames=()),
+    ]
+    assert occurrence_factor(traces, frame) == pytest.approx(0.5)
+
+
+def test_occurrence_factor_empty_traces():
+    assert occurrence_factor([], make_frame()) == 0.0
+
+
+def test_occurrence_factor_includes_idle_in_denominator():
+    frame = make_frame()
+    traces = [
+        StackTrace(time_ms=0.0, frames=(frame,)),
+        StackTrace(time_ms=1.0, frames=()),
+    ]
+    assert occurrence_factor(traces, frame) == pytest.approx(0.5)

@@ -1,0 +1,58 @@
+"""Tests for repro.base.rng (seeded stream derivation)."""
+
+import numpy as np
+import pytest
+
+from repro.base.rng import stream, substream_seed
+
+
+def test_same_keys_same_stream():
+    assert stream(1, "a", 2).random() == stream(1, "a", 2).random()
+
+
+def test_different_seed_different_stream():
+    assert stream(1, "a").random() != stream(2, "a").random()
+
+
+def test_different_keys_different_stream():
+    assert stream(1, "a").random() != stream(1, "b").random()
+
+
+def test_key_order_matters():
+    assert stream(1, "a", "b").random() != stream(1, "b", "a").random()
+
+
+def test_no_key_concatenation_ambiguity():
+    # ("ab",) and ("a", "b") must not collide.
+    assert stream(1, "ab").random() != stream(1, "a", "b").random()
+
+
+def test_integer_and_string_keys_both_accepted():
+    value = stream(0, "app", 7).random()
+    assert 0.0 <= value < 1.0
+
+
+def test_returns_numpy_generator():
+    assert isinstance(stream(0), np.random.Generator)
+
+
+def test_streams_are_independent_after_draws():
+    first = stream(5, "x")
+    _ = first.random(100)
+    fresh = stream(5, "y")
+    again = stream(5, "y")
+    assert fresh.random() == again.random()
+
+
+def test_substream_seed_stable():
+    assert substream_seed(3, "k") == substream_seed(3, "k")
+
+
+def test_substream_seed_distinct():
+    assert substream_seed(3, "k") != substream_seed(3, "l")
+
+
+def test_substream_seed_is_64_bit_int():
+    seed = substream_seed(1, "a")
+    assert isinstance(seed, int)
+    assert 0 <= seed < 2**64

@@ -1,0 +1,133 @@
+"""Tests for bootstrap intervals and session replay."""
+
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_correlations
+from repro.analysis.correlation import CounterSample
+from repro.apps.replay import replay, sessions_from_json, sessions_to_json
+from repro.apps.sessions import SessionGenerator, UserSession
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.timeout import TimeoutDetector
+
+
+def labelled_samples(n=30, gap=10.0):
+    samples = []
+    for index in range(n):
+        label = index % 2 == 0
+        base = gap if label else -gap
+        samples.append(CounterSample(
+            values={"good": base + (index % 5), "noise": float(index % 7)},
+            is_hang_bug=label,
+        ))
+    return samples
+
+
+# --- bootstrap ---------------------------------------------------------------
+
+
+def test_bootstrap_interval_contains_estimate():
+    result = bootstrap_correlations(
+        labelled_samples(), ("good", "noise"), resamples=100, seed=1
+    )
+    for event in ("good", "noise"):
+        estimate, low, high = result.interval(event)
+        assert low - 0.05 <= estimate <= high + 0.05
+
+
+def test_bootstrap_separates_good_from_noise():
+    result = bootstrap_correlations(
+        labelled_samples(), ("good", "noise"), resamples=100, seed=1
+    )
+    assert result.separable("good", "noise")
+
+
+def test_bootstrap_width_smaller_for_strong_signal():
+    result = bootstrap_correlations(
+        labelled_samples(), ("good", "noise"), resamples=100, seed=1
+    )
+    assert result.width("good") < result.width("noise")
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_correlations(labelled_samples(), ("good",), resamples=5)
+    with pytest.raises(ValueError):
+        bootstrap_correlations(labelled_samples(), ("good",),
+                               confidence=1.5)
+    single_class = [
+        CounterSample(values={"good": 1.0}, is_hang_bug=True)
+    ] * 5
+    with pytest.raises(ValueError):
+        bootstrap_correlations(single_class, ("good",))
+
+
+def test_bootstrap_deterministic():
+    first = bootstrap_correlations(labelled_samples(), ("good",),
+                                   resamples=50, seed=9)
+    second = bootstrap_correlations(labelled_samples(), ("good",),
+                                    resamples=50, seed=9)
+    assert first.intervals == second.intervals
+
+
+def test_bootstrap_render():
+    result = bootstrap_correlations(labelled_samples(), ("good", "noise"),
+                                    resamples=50)
+    text = result.render()
+    assert "good" in text
+    assert "[" in text
+
+
+def test_bootstrap_on_training_set_top_vs_uarch(training_samples_diff):
+    """Kernel scheduling events are separably above the weakest
+    microarchitectural events even under resampling."""
+    result = bootstrap_correlations(
+        training_samples_diff,
+        ("task-clock", "branch-misses"), resamples=60, seed=2,
+    )
+    assert result.separable("task-clock", "branch-misses")
+
+
+# --- replay -------------------------------------------------------------------
+
+
+def test_sessions_roundtrip(k9):
+    sessions = SessionGenerator(seed=1).fleet_sessions(k9, 2, 10)
+    text = sessions_to_json(sessions, engine_seed=5)
+    restored, seed = sessions_from_json(text)
+    assert seed == 5
+    assert restored == sessions
+
+
+def test_sessions_schema_check():
+    with pytest.raises(ValueError):
+        sessions_from_json('{"schema": 9, "engine_seed": 0, "sessions": []}')
+
+
+def test_replay_identical_executions(device, k9):
+    sessions = SessionGenerator(seed=1).fleet_sessions(k9, 1, 25)
+    first = replay(k9, sessions, device, TimeoutDetector, engine_seed=3)
+    second = replay(k9, sessions, device, TimeoutDetector, engine_seed=3)
+    assert [d.root_name for d in first.detections] == [
+        d.root_name for d in second.detections
+    ]
+    assert first.cost.trace_samples == second.cost.trace_samples
+
+
+def test_replay_compares_detectors_on_same_hangs(device, k9):
+    sessions = SessionGenerator(seed=1).fleet_sessions(k9, 2, 25)
+    ti = replay(k9, sessions, device, TimeoutDetector, engine_seed=3)
+    hd = replay(
+        k9, sessions, device,
+        lambda app: HangDoctor(app, device, seed=3), engine_seed=3,
+    )
+    ti_rts = [round(e.response_time_ms, 6) for e in ti.executions]
+    hd_rts = [round(e.response_time_ms, 6) for e in hd.executions]
+    assert ti_rts == hd_rts  # literally the same soft hangs
+    assert hd.confusion().fp < ti.confusion().fp
+
+
+def test_replay_rejects_wrong_app(device, k9, andstatus):
+    sessions = [UserSession(app_name="AndStatus", user_id=0,
+                            action_names=("compose",))]
+    with pytest.raises(ValueError):
+        replay(k9, sessions, device, TimeoutDetector)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_apps_lists_catalog(capsys):
+    out = run_cli(capsys, "apps")
+    assert "K9-mail" in out
+    assert "AndStatus" in out
+
+
+def test_session_detects_bugs(capsys):
+    out = run_cli(capsys, "--seed", "42", "session", "K9-mail",
+                  "--actions", "60")
+    assert "HtmlCleaner.clean" in out
+    assert "Hang Bug Report" in out
+
+
+def test_scan_shows_known_and_missed(capsys):
+    out = run_cli(capsys, "scan", "StickerCamera")
+    assert "android.hardware.Camera.open" in out
+    assert "0 ground-truth bug(s)" in out
+
+
+def test_scan_source_only_misses_nested(capsys):
+    out = run_cli(capsys, "scan", "Sage Math", "--source-only")
+    assert "3 ground-truth bug(s)" in out
+
+
+def test_testbed_single_app(capsys):
+    out = run_cli(capsys, "--seed", "4", "testbed", "--app", "K9-mail")
+    assert "Test bed vs in-the-wild" in out
+    assert "HtmlCleaner.clean" in out
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(SystemExit):
+        main(["--device", "iphone", "apps"])
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        main(["scan", "Instagram"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_device_selection(capsys):
+    out = run_cli(capsys, "--device", "nexus-5", "apps")
+    assert "K9-mail" in out

@@ -1,0 +1,91 @@
+"""Tests for repro.core.adaptation (filter self-tuning)."""
+
+import pytest
+
+from repro.analysis.correlation import CounterSample
+from repro.core.adaptation import FilterAdapter
+
+
+def sample(values, label):
+    return CounterSample(values=values, is_hang_bug=label)
+
+
+def test_no_errors_no_adaptation():
+    adapter = FilterAdapter()
+    samples = [
+        sample({"a": 10.0}, True),
+        sample({"a": -10.0}, False),
+    ]
+    result = adapter.adapt({"a": 0.0}, samples)
+    assert result.mode == "none"
+    assert result.thresholds == {"a": 0.0}
+
+
+def test_light_adaptation_fixes_false_negative():
+    """A bug sample below the threshold: nudge the threshold down."""
+    adapter = FilterAdapter()
+    samples = [
+        sample({"a": 5.0}, True),
+        sample({"a": -2.0}, True),   # missed at threshold 0
+        sample({"a": -10.0}, False),
+    ]
+    result = adapter.adapt({"a": 0.0}, samples)
+    assert result.mode == "light"
+    assert result.thresholds["a"] < -2.0
+    assert result.errors_after[0] == 0  # no FN remain
+
+
+def test_light_adaptation_fixes_false_positive():
+    """A UI sample above the threshold, below every bug: nudge up."""
+    adapter = FilterAdapter()
+    samples = [
+        sample({"a": 10.0}, True),
+        sample({"a": 3.0}, False),   # false positive at threshold 0
+        sample({"a": -10.0}, False),
+    ]
+    result = adapter.adapt({"a": 0.0}, samples)
+    assert result.mode == "light"
+    assert 3.0 <= result.thresholds["a"] < 10.0
+    assert result.errors_after == (0, 0)
+
+
+def test_heavy_adaptation_changes_event_set():
+    """When nudging cannot help (the event is uninformative), the
+    heavy pass re-selects events entirely."""
+    adapter = FilterAdapter(candidate_events=["a", "b"])
+    samples = [
+        sample({"a": 0.0, "b": 10.0}, True),
+        sample({"a": 0.0, "b": 12.0}, True),
+        sample({"a": 0.0, "b": -10.0}, False),
+        sample({"a": 0.0, "b": -12.0}, False),
+    ]
+    result = adapter.adapt({"a": 100.0}, samples)
+    assert result.mode == "heavy"
+    assert "b" in result.thresholds
+    assert result.errors_after == (0, 0)
+
+
+def test_adaptation_never_increases_false_negatives():
+    adapter = FilterAdapter(candidate_events=["a"])
+    samples = [
+        sample({"a": 5.0 + i}, True) for i in range(5)
+    ] + [
+        sample({"a": -5.0 - i}, False) for i in range(5)
+    ] + [
+        sample({"a": 2.0}, False)
+    ]
+    result = adapter.adapt({"a": 4.0}, samples)
+    fn_before, _ = result.errors_before
+    fn_after, _ = result.errors_after
+    assert fn_after <= fn_before
+
+
+def test_result_reports_error_deltas():
+    adapter = FilterAdapter()
+    samples = [
+        sample({"a": 5.0}, True),
+        sample({"a": -2.0}, True),
+        sample({"a": -10.0}, False),
+    ]
+    result = adapter.adapt({"a": 0.0}, samples)
+    assert result.errors_before == (1, 0)

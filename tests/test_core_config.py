@@ -1,0 +1,79 @@
+"""Tests for repro.core.config and repro.sim.device."""
+
+import pytest
+
+from repro.core.config import HangDoctorConfig, PAPER_THRESHOLDS
+from repro.sim.device import ALL_DEVICES, GALAXY_S3, LG_V10, NEXUS_5
+
+
+def test_default_config_is_valid():
+    config = HangDoctorConfig().validate()
+    assert config.perceivable_delay_ms == 100.0
+    assert set(config.filter_events()) == {
+        "context-switches", "task-clock", "page-faults"
+    }
+
+
+def test_paper_thresholds_preserved():
+    assert PAPER_THRESHOLDS == {
+        "context-switches": 0.0,
+        "task-clock": 1.7e8,
+        "page-faults": 500.0,
+    }
+
+
+def test_context_switch_threshold_is_zero():
+    """The sign condition (positive difference) is device-independent."""
+    assert HangDoctorConfig().filter_thresholds["context-switches"] == 0.0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("perceivable_delay_ms", 0.0),
+    ("normal_reset_period", 0),
+    ("trace_period_ms", 0.0),
+    ("occurrence_threshold", 0.0),
+    ("occurrence_threshold", 1.5),
+])
+def test_config_validation_rejects_bad_values(field, value):
+    config = HangDoctorConfig(**{field: value})
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_empty_filter_rejected():
+    with pytest.raises(ValueError):
+        HangDoctorConfig(filter_thresholds={}).validate()
+
+
+def test_filter_events_preserve_order():
+    config = HangDoctorConfig(
+        filter_thresholds={"task-clock": 1.0, "context-switches": 0.0}
+    )
+    assert config.filter_events() == ("task-clock", "context-switches")
+
+
+def test_three_device_profiles():
+    assert len(ALL_DEVICES) == 3
+    assert {d.name for d in ALL_DEVICES} == {
+        "LG V10", "Nexus 5", "Galaxy S3"
+    }
+
+
+def test_lg_v10_matches_paper():
+    """The paper: 37 PMU events vs 6 registers on the LG V10."""
+    assert LG_V10.pmu_registers == 6
+    assert LG_V10.pmu_events_available == 37
+
+
+def test_cycles_per_ms():
+    assert LG_V10.cycles_per_ms == pytest.approx(1.8e6)
+
+
+def test_devices_are_distinct():
+    assert NEXUS_5.cpu_freq_ghz != GALAXY_S3.cpu_freq_ghz
+    assert NEXUS_5.pmu_registers < LG_V10.pmu_registers
+
+
+def test_devices_are_frozen():
+    with pytest.raises(Exception):
+        LG_V10.cores = 8

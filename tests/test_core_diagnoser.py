@@ -1,0 +1,88 @@
+"""Tests for repro.core.diagnoser (phase-2 trace collection + analysis)."""
+
+import pytest
+
+from repro.core.config import HangDoctorConfig
+from repro.core.diagnoser import Diagnoser
+from tests.helpers import run_until
+
+
+@pytest.fixture()
+def diagnoser(k9):
+    return Diagnoser(HangDoctorConfig(), app_package=k9.package)
+
+
+def test_no_hang_no_collection(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    result = diagnoser.diagnose(execution)
+    assert not result.diagnosed
+    assert result.samples == 0
+    assert not result.found_hang_bug
+
+
+def test_bug_hang_is_diagnosed(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    result = diagnoser.diagnose(execution)
+    assert result.diagnosed
+    assert result.found_hang_bug
+    bug = result.bug_diagnoses()[0]
+    assert bug.diagnosis.root.method == "clean"
+    assert bug.diagnosis.occurrence > 0.8
+
+
+def test_ui_hang_is_not_a_bug(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "folders", lambda ex: ex.has_soft_hang
+    )
+    result = diagnoser.diagnose(execution)
+    assert result.diagnosed
+    assert not result.found_hang_bug
+
+
+def test_samples_proportional_to_hang_length(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "open_email",
+        lambda ex: ex.bug_caused_hang() and ex.response_time_ms > 800,
+    )
+    result = diagnoser.diagnose(execution)
+    hang_ms = max(e.response_time_ms for e in execution.events)
+    expected = hang_ms / HangDoctorConfig().trace_period_ms
+    assert result.samples == pytest.approx(expected, rel=0.3)
+
+
+def test_only_hanging_events_are_traced(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    hang_count = len(execution.hang_events())
+    result = diagnoser.diagnose(execution)
+    assert len(result.hang_diagnoses) == hang_count
+
+
+def test_diagnosis_window_matches_hang_event(engine, k9, diagnoser):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    result = diagnoser.diagnose(execution)
+    hang_event = execution.hang_events()[0]
+    diagnosis = result.hang_diagnoses[0]
+    assert diagnosis.start_ms == hang_event.dispatch_ms
+    assert diagnosis.end_ms == hang_event.finish_ms
+
+
+def test_self_developed_loop_diagnosed(engine, diagnoser):
+    from repro.apps.catalog import get_app
+
+    k9 = get_app("K9-mail")
+    diagnoser = Diagnoser(HangDoctorConfig(), app_package=k9.package)
+    execution = run_until(
+        engine, k9, "search_messages", lambda ex: ex.bug_caused_hang()
+    )
+    result = diagnoser.diagnose(execution)
+    bug = result.bug_diagnoses()[0]
+    assert bug.diagnosis.is_self_developed
+    assert bug.diagnosis.root.method == "buildThreadIndex"

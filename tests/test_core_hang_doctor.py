@@ -1,0 +1,185 @@
+"""Tests for repro.core.hang_doctor (the two-phase orchestrator)."""
+
+import pytest
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.config import HangDoctorConfig
+from repro.core.hang_doctor import HangDoctor
+from repro.core.states import ActionState
+from repro.sim.engine import ExecutionEngine
+from tests.helpers import run_until
+
+
+def drive_to_detection(doctor, engine, app, action_name, attempts=60):
+    """Process executions until Hang Doctor emits a detection."""
+    action = app.action(action_name)
+    for _ in range(attempts):
+        execution = engine.run_action(app, action)
+        outcome = doctor.process(execution)
+        if outcome.detections:
+            return execution, outcome
+    raise AssertionError(f"no detection for {action_name}")
+
+
+def test_all_actions_start_uncategorized(device, k9):
+    doctor = HangDoctor(k9, device)
+    for action in k9.actions:
+        assert doctor.state_of(action.name) is ActionState.UNCATEGORIZED
+
+
+def test_full_detection_story(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, seed=21)
+    execution, outcome = drive_to_detection(doctor, engine, k9, "open_email")
+    detection = outcome.detections[0]
+    assert detection.root.method == "clean"
+    assert doctor.state_of("open_email") is ActionState.HANG_BUG
+    assert len(doctor.report) >= 1
+
+
+def test_detection_adds_api_to_blocking_db(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    db = BlockingApiDatabase.initial()
+    doctor = HangDoctor(k9, device, blocking_db=db, seed=21)
+    drive_to_detection(doctor, engine, k9, "open_email")
+    assert db.knows("org.htmlcleaner.HtmlCleaner.clean")
+    assert "org.htmlcleaner.HtmlCleaner.clean" in db.runtime_discoveries()
+
+
+def test_self_developed_bug_not_added_to_db(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    db = BlockingApiDatabase.initial()
+    doctor = HangDoctor(k9, device, blocking_db=db, seed=21)
+    _, outcome = drive_to_detection(doctor, engine, k9, "search_messages")
+    detection = outcome.detections[0]
+    assert detection.is_self_developed
+    assert not db.knows(detection.root_name)
+
+
+def test_ui_action_goes_normal_without_tracing(device, k9):
+    engine = ExecutionEngine(device, seed=5)
+    doctor = HangDoctor(k9, device, seed=5)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = doctor.process(execution)
+    assert doctor.state_of("folders") in (
+        ActionState.NORMAL, ActionState.SUSPICIOUS
+    )
+    assert not outcome.trace_episodes
+
+
+def test_uncategorized_pays_counter_monitoring(device, k9):
+    engine = ExecutionEngine(device, seed=5)
+    doctor = HangDoctor(k9, device, seed=5)
+    execution = engine.run_action(k9, k9.action("folders"))
+    outcome = doctor.process(execution)
+    assert outcome.cost.counter_window_ms > 0
+
+
+def test_normal_actions_pay_only_response_time(device, k9):
+    engine = ExecutionEngine(device, seed=5)
+    doctor = HangDoctor(k9, device, seed=5)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    doctor.process(execution)
+    if doctor.state_of("folders") is not ActionState.NORMAL:
+        pytest.skip("filter flagged this UI hang (borderline seed)")
+    execution = engine.run_action(k9, k9.action("folders"))
+    outcome = doctor.process(execution)
+    assert outcome.cost.counter_window_ms == 0
+    assert outcome.cost.trace_samples == 0
+    assert outcome.cost.rt_events > 0
+
+
+def test_no_hang_stays_uncategorized(device, k9):
+    engine = ExecutionEngine(device, seed=5)
+    doctor = HangDoctor(k9, device, seed=5)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    doctor.process(execution)
+    assert doctor.state_of("open_email") is ActionState.UNCATEGORIZED
+
+
+def test_suspicious_persists_until_next_hang(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, seed=21)
+    run = run_until(engine, k9, "open_email", lambda ex: ex.bug_caused_hang())
+    doctor.process(run)
+    assert doctor.state_of("open_email") is ActionState.SUSPICIOUS
+    quiet = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    outcome = doctor.process(quiet)
+    assert doctor.state_of("open_email") is ActionState.SUSPICIOUS
+    assert not outcome.trace_episodes
+
+
+def test_hang_bug_state_keeps_tracing(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, seed=21)
+    drive_to_detection(doctor, engine, k9, "open_email")
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    outcome = doctor.process(execution)
+    assert outcome.trace_episodes
+    assert doctor.state_of("open_email") is ActionState.HANG_BUG
+
+
+def test_trace_hang_bug_state_off_stops_tracing(device, k9):
+    config = HangDoctorConfig(trace_hang_bug_state=False)
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, config=config, seed=21)
+    drive_to_detection(doctor, engine, k9, "open_email")
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    outcome = doctor.process(execution)
+    assert not outcome.trace_episodes
+
+
+def test_normal_reset_reexamines_action(device, k9):
+    config = HangDoctorConfig(normal_reset_period=2)
+    engine = ExecutionEngine(device, seed=5)
+    doctor = HangDoctor(k9, device, config=config, seed=5)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    doctor.process(execution)
+    if doctor.state_of("folders") is not ActionState.NORMAL:
+        pytest.skip("filter flagged this UI hang (borderline seed)")
+    for _ in range(2):
+        doctor.process(engine.run_action(k9, k9.action("folders")))
+    assert doctor.state_of("folders") is ActionState.UNCATEGORIZED
+
+
+def test_report_accumulates_across_devices(device, k9):
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, seed=21)
+    action = k9.action("open_email")
+    devices = set()
+    for index in range(40):
+        execution = engine.run_action(k9, action)
+        outcome = doctor.process(execution, device_id=index % 3)
+        if outcome.detections:
+            devices.add(index % 3)
+        if len(devices) >= 2:
+            break
+    entry = doctor.report.entries()[0]
+    assert len(entry.devices) >= 2
+
+
+def test_multi_bug_action_detects_both_roots(device, andstatus):
+    """AndStatus-style actions can hide several bugs that manifest in
+    different executions; Hang Doctor keeps diagnosing (paper §3.2)."""
+    engine = ExecutionEngine(device, seed=13)
+    doctor = HangDoctor(andstatus, device, seed=13)
+    roots = set()
+    for _ in range(120):
+        action_name = (
+            "scroll_timeline" if len(roots) % 2 == 0 else "open_post"
+        )
+        execution = engine.run_action(andstatus,
+                                      andstatus.action(action_name))
+        outcome = doctor.process(execution)
+        roots.update(d.root_name for d in outcome.detections)
+        if len(roots) >= 2:
+            break
+    assert len(roots) >= 2

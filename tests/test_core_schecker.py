@@ -1,0 +1,100 @@
+"""Tests for repro.core.schecker (the phase-1 filter)."""
+
+import pytest
+
+from repro.core.config import HangDoctorConfig
+from repro.core.schecker import SChecker, SymptomCheck
+from tests.helpers import run_until
+
+
+@pytest.fixture()
+def schecker(device):
+    return SChecker(HangDoctorConfig(), device)
+
+
+def test_evaluate_fires_above_threshold(schecker):
+    check = schecker.evaluate({"context-switches": 5.0, "task-clock": 0.0,
+                               "page-faults": 0.0})
+    assert check.symptomatic
+    assert check.fired_events() == ["context-switches"]
+
+
+def test_evaluate_strictly_greater(schecker):
+    check = schecker.evaluate({"context-switches": 0.0, "task-clock": 0.0,
+                               "page-faults": 0.0})
+    assert not check.symptomatic
+
+
+def test_evaluate_any_condition_suffices(schecker):
+    check = schecker.evaluate({
+        "context-switches": -10.0,
+        "task-clock": 0.0,
+        "page-faults": 10_000.0,
+    })
+    assert check.symptomatic
+    assert check.fired_events() == ["page-faults"]
+
+
+def test_missing_events_treated_as_zero(schecker):
+    check = schecker.evaluate({})
+    assert not check.symptomatic
+
+
+def test_bug_hang_is_symptomatic(engine, k9, schecker):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    assert schecker.check(execution).symptomatic
+
+
+def test_render_heavy_ui_hang_is_filtered(engine, k9, schecker):
+    execution = run_until(
+        engine, k9, "folders", lambda ex: ex.has_soft_hang
+    )
+    assert not schecker.check(execution).symptomatic
+
+
+def test_compute_loop_fires_task_clock(engine, schecker):
+    from repro.apps.catalog import get_app
+
+    qksms = get_app("QKSMS")
+    execution = run_until(
+        engine, qksms, "verify_backup", lambda ex: ex.bug_caused_hang()
+    )
+    check = schecker.check(execution)
+    assert check.fired["task-clock"]
+
+
+def test_page_fault_only_bug(engine, schecker):
+    """Omni-Notes bugs are caught by page faults, not switches."""
+    from repro.apps.catalog import get_app
+
+    omni = get_app("Omni-Notes")
+    fired = {"context-switches": 0, "page-faults": 0}
+    hangs = 0
+    for _ in range(15):
+        execution = engine.run_action(omni, omni.action("open_note"))
+        if not execution.bug_caused_hang():
+            continue
+        hangs += 1
+        check = schecker.check(execution)
+        for event in fired:
+            fired[event] += check.fired[event]
+    assert hangs > 0
+    assert fired["page-faults"] >= hangs * 0.55
+    assert fired["context-switches"] < hangs * 0.3
+
+
+def test_symptom_check_is_pure_data():
+    check = SymptomCheck(values={"x": 1.0}, fired={"x": True})
+    assert check.symptomatic
+    assert check.values == {"x": 1.0}
+
+
+def test_check_accounts_monitoring_cost(engine, k9, schecker):
+    execution = run_until(
+        engine, k9, "folders", lambda ex: ex.has_soft_hang
+    )
+    before = schecker.monitor.reads
+    schecker.check(execution)
+    assert schecker.monitor.reads == before + 1

@@ -1,0 +1,123 @@
+"""Tests for repro.core.states (Figure 3's state machine)."""
+
+import pytest
+
+from repro.core.states import ActionState, ActionStateMachine
+
+
+@pytest.fixture()
+def machine():
+    m = ActionStateMachine(reset_period=3)
+    m.register(1)
+    return m
+
+
+def test_actions_start_uncategorized(machine):
+    assert machine.state(1) is ActionState.UNCATEGORIZED
+
+
+def test_register_is_idempotent(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    machine.register(1)
+    assert machine.state(1) is ActionState.NORMAL
+
+
+def test_path_a_uncategorized_to_normal(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    assert machine.state(1) is ActionState.NORMAL
+
+
+def test_path_b_suspicious_to_normal(machine):
+    machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+    machine.transition(1, ActionState.NORMAL, "Diagnoser")
+    assert machine.state(1) is ActionState.NORMAL
+
+
+def test_path_c_suspicious_to_hang_bug(machine):
+    machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+    machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+    assert machine.state(1) is ActionState.HANG_BUG
+
+
+def test_illegal_uncategorized_to_hang_bug(machine):
+    with pytest.raises(ValueError):
+        machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+
+
+def test_illegal_hang_bug_to_normal(machine):
+    machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+    machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+    with pytest.raises(ValueError):
+        machine.transition(1, ActionState.NORMAL, "Diagnoser")
+
+
+def test_illegal_normal_to_suspicious_directly(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    with pytest.raises(ValueError):
+        machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+
+
+def test_hang_bug_is_sticky(machine):
+    machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+    machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+    machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+    assert machine.state(1) is ActionState.HANG_BUG
+
+
+def test_normal_resets_after_period(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    machine.note_normal_execution(1)
+    machine.note_normal_execution(1)
+    assert machine.state(1) is ActionState.NORMAL
+    machine.note_normal_execution(1)
+    assert machine.state(1) is ActionState.UNCATEGORIZED
+
+
+def test_reset_counter_restarts_after_renormalization(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    machine.note_normal_execution(1)
+    machine.transition(1, ActionState.UNCATEGORIZED, "S-Checker")
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    machine.note_normal_execution(1)
+    machine.note_normal_execution(1)
+    assert machine.state(1) is ActionState.NORMAL
+
+
+def test_note_normal_requires_normal_state(machine):
+    with pytest.raises(ValueError):
+        machine.note_normal_execution(1)
+
+
+def test_transition_log_records_history(machine):
+    machine.transition(1, ActionState.SUSPICIOUS, "S-Checker", time_ms=10.0)
+    machine.transition(1, ActionState.NORMAL, "Diagnoser", time_ms=20.0)
+    assert [t.component for t in machine.transitions] == [
+        "S-Checker", "Diagnoser"
+    ]
+    assert machine.transitions[0].time_ms == 10.0
+
+
+def test_self_transition_to_same_state_is_silent(machine):
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    machine.transition(1, ActionState.NORMAL, "Diagnoser")
+    assert len(machine.transitions) == 1
+
+
+def test_counts(machine):
+    machine.register(2)
+    machine.transition(1, ActionState.NORMAL, "S-Checker")
+    counts = machine.counts()
+    assert counts[ActionState.NORMAL] == 1
+    assert counts[ActionState.UNCATEGORIZED] == 1
+
+
+def test_short_labels_match_figure7():
+    assert ActionState.UNCATEGORIZED.short == "U"
+    assert ActionState.NORMAL.short == "N"
+    assert ActionState.SUSPICIOUS.short == "S"
+    assert ActionState.HANG_BUG.short == "H"
+
+
+def test_invalid_reset_period():
+    with pytest.raises(ValueError):
+        ActionStateMachine(reset_period=0)

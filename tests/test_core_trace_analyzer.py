@@ -1,0 +1,106 @@
+"""Tests for repro.core.trace_analyzer (occurrence-factor attribution)."""
+
+import pytest
+
+from repro.base.frames import Frame, StackTrace
+from repro.core.trace_analyzer import TraceAnalyzer
+
+
+def frame(method, clazz="org.app.Helper"):
+    return Frame(clazz=clazz, method=method, file="F.java", line=10)
+
+
+def trace(t, *frames):
+    return StackTrace(time_ms=t, frames=tuple(frames))
+
+
+HANDLER = frame("onClick", "com.app.MainActivity")
+CALLER = frame("loadData", "com.app.Loader")
+BLOCKING = frame("query", "android.database.sqlite.SQLiteDatabase")
+UI = frame("inflate", "android.view.LayoutInflater")
+
+
+def test_single_dominant_api_is_root():
+    traces = [trace(i, HANDLER, CALLER, BLOCKING) for i in range(9)]
+    traces.append(trace(9, HANDLER, CALLER, UI))
+    diagnosis = TraceAnalyzer().analyze(traces)
+    assert diagnosis.root == BLOCKING
+    assert diagnosis.occurrence == pytest.approx(0.9)
+    assert diagnosis.is_hang_bug
+
+
+def test_ui_root_is_not_a_bug():
+    traces = [trace(i, HANDLER, CALLER, UI) for i in range(10)]
+    diagnosis = TraceAnalyzer().analyze(traces)
+    assert diagnosis.root == UI
+    assert diagnosis.is_ui
+    assert not diagnosis.is_hang_bug
+
+
+def test_low_occurrence_blames_common_caller():
+    """Many different light APIs under one self-developed caller: the
+    caller is the root cause (paper §3.4.1)."""
+    leaves = [frame(f"op{i}") for i in range(10)]
+    traces = [trace(i, HANDLER, CALLER, leaf) for i, leaf in
+              enumerate(leaves)]
+    diagnosis = TraceAnalyzer(occurrence_threshold=0.5).analyze(traces)
+    assert diagnosis.root == CALLER
+    assert diagnosis.occurrence == pytest.approx(1.0)
+
+
+def test_self_developed_classification():
+    loop = frame("formatTimeline", "com.app.Formatter")
+    traces = [trace(i, HANDLER, CALLER, loop) for i in range(10)]
+    diagnosis = TraceAnalyzer(app_package="com.app").analyze(traces)
+    assert diagnosis.is_self_developed
+    assert diagnosis.is_hang_bug
+
+
+def test_library_api_is_not_self_developed():
+    traces = [trace(i, HANDLER, CALLER, BLOCKING) for i in range(10)]
+    diagnosis = TraceAnalyzer(app_package="com.app").analyze(traces)
+    assert not diagnosis.is_self_developed
+
+
+def test_idle_traces_lower_occurrence():
+    traces = [trace(i, HANDLER, BLOCKING) for i in range(5)]
+    traces += [trace(5 + i) for i in range(5)]
+    diagnosis = TraceAnalyzer(occurrence_threshold=0.4).analyze(traces)
+    assert diagnosis.root == BLOCKING
+    assert diagnosis.occurrence == pytest.approx(0.5)
+
+
+def test_all_idle_returns_no_root():
+    traces = [trace(i) for i in range(5)]
+    diagnosis = TraceAnalyzer().analyze(traces)
+    assert diagnosis.root is None
+    assert not diagnosis.is_hang_bug
+    assert diagnosis.trace_count == 5
+
+
+def test_empty_traces():
+    diagnosis = TraceAnalyzer().analyze([])
+    assert diagnosis.root is None
+    assert diagnosis.occurrence == 0.0
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        TraceAnalyzer(occurrence_threshold=0.0)
+    with pytest.raises(ValueError):
+        TraceAnalyzer(occurrence_threshold=1.5)
+
+
+def test_trace_count_reported():
+    traces = [trace(i, HANDLER, BLOCKING) for i in range(7)]
+    assert TraceAnalyzer().analyze(traces).trace_count == 7
+
+
+def test_fallback_without_caller_uses_top_leaf():
+    """Shallow stacks (no caller frame) fall back to the leaf even
+    below the occurrence bar."""
+    leaves = [frame(f"op{i}") for i in range(10)]
+    traces = [StackTrace(time_ms=i, frames=(leaf,))
+              for i, leaf in enumerate(leaves)]
+    diagnosis = TraceAnalyzer(occurrence_threshold=0.5).analyze(traces)
+    assert diagnosis.root in leaves

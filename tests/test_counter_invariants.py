@@ -1,0 +1,120 @@
+"""Cross-event invariants of the counter model.
+
+The 46-event model must stay internally consistent — cache misses
+cannot exceed accesses, branch events must track instruction counts,
+and so on — across kinds, threads, and random draws.
+"""
+
+import pytest
+
+from repro.base.kinds import ApiKind
+from repro.base.rng import stream
+from repro.sim.counters import CounterModel
+from repro.sim.device import LG_V10
+from repro.sim.timeline import MAIN_THREAD
+
+NEUTRAL = {"ipc": 1.0, "cache": 1.0, "branch": 1.0, "tlb": 1.0, "mem": 1.0}
+
+
+@pytest.fixture(params=[ApiKind.BLOCKING, ApiKind.COMPUTE, ApiKind.UI,
+                        ApiKind.LIGHT])
+def counts(request):
+    model = CounterModel(LG_V10)
+    rng = stream("invariants", request.param.value)
+    return model.segment_counts(
+        kind=request.param, thread=MAIN_THREAD, wall_ms=400.0,
+        cpu_ms=240.0, pages=800, uarch=NEUTRAL, rng=rng,
+    )
+
+
+def test_misses_do_not_exceed_accesses(counts):
+    assert counts["L1-dcache-load-misses"] <= counts["L1-dcache-loads"]
+    assert counts["L1-dcache-store-misses"] <= counts["L1-dcache-stores"]
+    assert counts["L1-icache-load-misses"] <= counts["L1-icache-loads"]
+
+
+def test_llc_traffic_below_l1_misses(counts):
+    l1_misses = (counts["L1-dcache-load-misses"]
+                 + counts["L1-dcache-store-misses"])
+    llc_traffic = counts["LLC-loads"] + counts["LLC-stores"]
+    assert llc_traffic <= l1_misses * 1.5
+
+
+def test_branch_family_consistent(counts):
+    assert counts["branch-misses"] <= counts["branch-instructions"]
+    assert counts["branch-loads"] == pytest.approx(
+        counts["branch-instructions"], rel=0.2
+    )
+    assert counts["raw-branch-mispred"] <= counts["raw-branch-pred"] * 1.2
+
+
+def test_branches_are_a_fraction_of_instructions(counts):
+    assert counts["branch-instructions"] < 0.5 * counts["instructions"]
+
+
+def test_retired_tracks_instructions(counts):
+    assert counts["raw-instruction-retired"] == pytest.approx(
+        counts["instructions"], rel=0.1
+    )
+
+
+def test_raw_cycles_tracks_cycles(counts):
+    assert counts["raw-cpu-cycles"] == pytest.approx(
+        counts["cpu-cycles"], rel=0.1
+    )
+
+
+def test_tlb_misses_far_below_accesses(counts):
+    assert counts["dTLB-load-misses"] < 0.05 * counts["dTLB-loads"]
+    assert counts["iTLB-load-misses"] < 0.02 * counts["iTLB-loads"]
+
+
+def test_stalls_below_cycles(counts):
+    assert counts["stalled-cycles-frontend"] < counts["cpu-cycles"]
+
+
+def test_alignment_and_emulation_faults_absent(counts):
+    assert counts["alignment-faults"] == 0.0
+    assert counts["emulation-faults"] == 0.0
+
+
+def test_migrations_below_switches(counts):
+    assert counts["cpu-migrations"] <= counts["context-switches"]
+
+
+def test_compute_kind_has_highest_ipc():
+    model = CounterModel(LG_V10)
+    ipc = {}
+    for kind in (ApiKind.BLOCKING, ApiKind.COMPUTE, ApiKind.UI):
+        import numpy as np
+
+        rng = stream("ipc", kind.value)
+        ratios = []
+        for _ in range(40):
+            counts = model.segment_counts(
+                kind=kind, thread=MAIN_THREAD, wall_ms=300.0, cpu_ms=200.0,
+                pages=100, uarch=NEUTRAL, rng=rng,
+            )
+            ratios.append(counts["instructions"] / counts["cpu-cycles"])
+        ipc[kind] = float(np.mean(ratios))
+    assert ipc[ApiKind.COMPUTE] > ipc[ApiKind.UI] > ipc[ApiKind.BLOCKING]
+
+
+def test_dvfs_shared_within_an_execution(device, k9):
+    """Cycle counts across segments of one execution share the DVFS
+    draw: per-segment cycles/task-clock ratios cluster tightly."""
+    import numpy as np
+
+    from repro.sim.engine import ExecutionEngine
+    from repro.sim.timeline import MAIN_THREAD as MAIN
+
+    engine = ExecutionEngine(device, seed=6)
+    execution = engine.run_action(k9, k9.action("folders"))
+    ratios = []
+    for segment in execution.timeline.segments(MAIN):
+        if segment.counts.get("task-clock", 0) > 0:
+            ratios.append(
+                segment.counts["cpu-cycles"] / segment.counts["task-clock"]
+            )
+    assert len(ratios) >= 2
+    assert np.std(np.log(ratios)) < 0.15

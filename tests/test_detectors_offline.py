@@ -1,0 +1,90 @@
+"""Tests for repro.detectors.offline (the PerfChecker-style scanner)."""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.detectors.offline import OfflineScanner
+
+
+def test_finds_known_blocking_calls():
+    scanner = OfflineScanner()
+    detections = scanner.scan_app(get_app("StickerCamera"))
+    names = {d.api_name for d in detections}
+    assert "android.hardware.Camera.open" in names
+    assert "android.graphics.BitmapFactory.decodeFile" in names
+
+
+def test_misses_unknown_apis():
+    scanner = OfflineScanner()
+    k9 = get_app("K9-mail")
+    names = {d.api_name for d in scanner.scan_app(k9)}
+    assert "org.htmlcleaner.HtmlCleaner.clean" not in names
+
+
+def test_misses_self_developed_loops():
+    scanner = OfflineScanner()
+    qksms = get_app("QKSMS")
+    assert len(scanner.missed_bugs(qksms)) == 3
+
+
+def test_bytecode_scanner_sees_nested_known_apis():
+    scanner = OfflineScanner(analyze_libraries=True)
+    owntracks = get_app("OwnTracks")
+    assert scanner.missed_bugs(owntracks) == []
+
+
+def test_source_scanner_misses_nested_known_apis():
+    """The paper's intro example: SageMath's cupboard-wrapped database
+    insert is invisible to a source-only scanner."""
+    source_only = OfflineScanner(analyze_libraries=False)
+    sage = get_app("Sage Math")
+    missed = source_only.missed_bugs(sage)
+    assert any(
+        op.api.entry_name == "get" for op in missed
+    )
+    bytecode = OfflineScanner(analyze_libraries=True)
+    assert len(bytecode.missed_bugs(sage)) < len(missed)
+
+
+def test_ignores_worker_thread_calls():
+    scanner = OfflineScanner()
+    fixed = get_app("StickerCamera").fixed()
+    assert scanner.scan_app(fixed) == []
+
+
+def test_deduplicates_sites():
+    scanner = OfflineScanner()
+    app = get_app("Sage Math")
+    detections = scanner.scan_app(app)
+    sites = [d.site_id for d in detections]
+    assert len(sites) == len(set(sites))
+
+
+def test_custom_database():
+    db = BlockingApiDatabase({"org.htmlcleaner.HtmlCleaner.clean"})
+    scanner = OfflineScanner(blocking_db=db)
+    k9 = get_app("K9-mail")
+    names = {d.api_name for d in scanner.scan_app(k9)}
+    assert "org.htmlcleaner.HtmlCleaner.clean" in names
+
+
+def test_runtime_discoveries_improve_offline_detection():
+    """The paper's feedback loop: once Hang Doctor adds an unknown API
+    to the database, the offline scanner warns other apps too."""
+    db = BlockingApiDatabase.initial()
+    scanner = OfflineScanner(blocking_db=db)
+    k9 = get_app("K9-mail")
+    before = len(scanner.missed_bugs(k9))
+    db.add("org.htmlcleaner.HtmlCleaner.clean")
+    after = len(scanner.missed_bugs(k9))
+    assert after == before - 1
+
+
+def test_detected_sites_subset_of_all_sites():
+    scanner = OfflineScanner()
+    app = get_app("AndStatus")
+    all_sites = {
+        op.site_id for action in app.actions for op in action.operations()
+    }
+    assert scanner.detected_sites(app) <= all_sites

@@ -1,0 +1,79 @@
+"""Tests for repro.detectors.timeout (the TI baseline)."""
+
+import pytest
+
+from repro.detectors.timeout import TimeoutDetector
+from tests.helpers import run_until
+
+
+def test_no_detection_below_timeout(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    outcome = detector.process(execution)
+    assert not outcome.detections
+    assert not outcome.trace_episodes
+
+
+def test_every_hang_is_traced(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = detector.process(execution)
+    assert len(outcome.trace_episodes) == len(execution.hang_events())
+
+
+def test_ui_hang_reported_as_ui_root(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = detector.process(execution)
+    assert outcome.detections
+    assert all(d.root_is_ui for d in outcome.detections)
+
+
+def test_bug_hang_attributed_to_bug(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    outcome = detector.process(execution)
+    roots = [d.root_name for d in outcome.detections]
+    assert "org.htmlcleaner.HtmlCleaner.clean" in roots
+
+
+def test_five_second_timeout_misses_soft_hangs(engine, k9):
+    anr = TimeoutDetector(k9, timeout_ms=5000.0)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    assert not anr.process(execution).detections
+
+
+def test_name_reflects_timeout(k9):
+    assert TimeoutDetector(k9).name == "TI"
+    assert TimeoutDetector(k9, timeout_ms=500.0).name == "TI-500ms"
+
+
+def test_cost_scales_with_hang_length(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    short = run_until(
+        engine, k9, "folders",
+        lambda ex: ex.has_soft_hang and ex.response_time_ms < 400,
+    )
+    long = run_until(
+        engine, k9, "open_email",
+        lambda ex: ex.bug_caused_hang() and ex.response_time_ms > 900,
+    )
+    cost_short = detector.process(short).cost.trace_samples
+    cost_long = detector.process(long).cost.trace_samples
+    assert cost_long > 2 * cost_short
+
+
+def test_detection_metadata(engine, k9):
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    detection = detector.process(execution).detections[0]
+    assert detection.app_name == "K9-mail"
+    assert detection.action_name == "folders"
+    assert detection.response_time_ms > 100.0
+    assert detection.detector == "TI"

@@ -1,0 +1,137 @@
+"""Tests for repro.detectors.utilization (UT/UT+TI baselines)."""
+
+import pytest
+
+from repro.detectors.utilization import (
+    CPU_METRIC,
+    MEM_METRIC,
+    UtilizationDetector,
+    UtilizationThresholds,
+    fit_thresholds,
+    window_metrics,
+)
+from tests.helpers import run_until
+
+
+LOW = UtilizationThresholds(values={CPU_METRIC: 0.15, MEM_METRIC: 20.0})
+HIGH = UtilizationThresholds(values={CPU_METRIC: 0.9, MEM_METRIC: 5000.0})
+
+
+def test_window_metrics_bounds(engine, k9):
+    execution = engine.run_action(k9, k9.action("folders"))
+    metrics = window_metrics(execution, execution.start_ms,
+                             execution.start_ms + 100.0)
+    assert 0.0 <= metrics[CPU_METRIC] <= 1.0
+    assert metrics[MEM_METRIC] >= 0.0
+
+
+def test_fit_thresholds_low_is_minimum():
+    windows = [
+        {CPU_METRIC: 0.4, MEM_METRIC: 100.0},
+        {CPU_METRIC: 0.8, MEM_METRIC: 300.0},
+    ]
+    low = fit_thresholds(windows, "low")
+    assert low.values[CPU_METRIC] == 0.4
+    assert low.values[MEM_METRIC] == 100.0
+
+
+def test_fit_thresholds_high_is_90_percent_of_peak():
+    windows = [
+        {CPU_METRIC: 0.4, MEM_METRIC: 100.0},
+        {CPU_METRIC: 0.8, MEM_METRIC: 300.0},
+    ]
+    high = fit_thresholds(windows, "high")
+    assert high.values[CPU_METRIC] == pytest.approx(0.72)
+    assert high.values[MEM_METRIC] == pytest.approx(270.0)
+
+
+def test_fit_thresholds_validation():
+    with pytest.raises(ValueError):
+        fit_thresholds([], "low")
+    with pytest.raises(ValueError):
+        fit_thresholds([{CPU_METRIC: 1, MEM_METRIC: 1}], "medium")
+
+
+def test_crossed_any_metric():
+    thresholds = UtilizationThresholds(values={CPU_METRIC: 0.5,
+                                               MEM_METRIC: 100.0})
+    assert thresholds.crossed({CPU_METRIC: 0.6, MEM_METRIC: 0.0})
+    assert thresholds.crossed({CPU_METRIC: 0.0, MEM_METRIC: 150.0})
+    assert not thresholds.crossed({CPU_METRIC: 0.5, MEM_METRIC: 100.0})
+
+
+def test_low_threshold_fires_on_ui_work(engine, k9):
+    detector = UtilizationDetector(k9, LOW, label="UTL")
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = detector.process(execution)
+    assert outcome.trace_episodes  # false positives
+
+
+def test_low_threshold_retriggers_per_window(engine, k9):
+    detector = UtilizationDetector(k9, LOW, label="UTL")
+    execution = run_until(
+        engine, k9, "open_email",
+        lambda ex: ex.bug_caused_hang() and ex.response_time_ms > 900,
+    )
+    outcome = detector.process(execution)
+    assert len(outcome.trace_episodes) >= 5
+
+
+def test_high_threshold_quiet_on_ui_work(engine, k9):
+    detector = UtilizationDetector(k9, HIGH, label="UTH")
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = detector.process(execution)
+    assert not outcome.trace_episodes
+
+
+def test_hang_gated_needs_both_conditions(engine, k9):
+    detector = UtilizationDetector(k9, HIGH, combine_timeout=True,
+                                   label="UTH+TI")
+    execution = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    outcome = detector.process(execution)
+    # High threshold not crossed: no trace despite the hang.
+    assert not outcome.trace_episodes
+    # But utilization was sampled during the hang (cost).
+    assert outcome.cost.util_samples >= 0
+
+
+def test_hang_gated_no_sampling_without_hang(engine, k9):
+    detector = UtilizationDetector(k9, LOW, combine_timeout=True,
+                                   label="UTL+TI")
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    outcome = detector.process(execution)
+    assert outcome.cost.util_samples == 0
+
+
+def test_hang_gated_traces_bug_hang(engine, k9):
+    detector = UtilizationDetector(k9, LOW, combine_timeout=True,
+                                   label="UTL+TI")
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    outcome = detector.process(execution)
+    assert outcome.trace_episodes
+    assert outcome.detections
+
+
+def test_periodic_accounts_idle_samples(engine, k9):
+    detector = UtilizationDetector(k9, HIGH, label="UTH")
+    executions = engine.run_session(k9, ["folders", "folders"],
+                                    gap_ms=2000.0)
+    detector.process(executions[0])
+    outcome = detector.process(executions[1])
+    assert outcome.cost.util_samples > 10  # includes the idle gap
+
+
+def test_reset_clears_idle_tracking(engine, k9):
+    detector = UtilizationDetector(k9, HIGH, label="UTH")
+    executions = engine.run_session(k9, ["folders", "folders"],
+                                    gap_ms=2000.0)
+    detector.process(executions[0])
+    detector.reset()
+    outcome = detector.process(executions[1])
+    # After reset there is no "previous end": no idle back-charge.
+    span = executions[1].timeline.end_ms - executions[1].start_ms
+    assert outcome.cost.util_samples <= span / 100.0 + 1

@@ -1,0 +1,112 @@
+"""Tests for the BlockCanary-style watchdog baseline."""
+
+import pytest
+
+from repro.detectors.runner import run_detector
+from repro.detectors.watchdog import WatchdogDetector
+from repro.sim.engine import ExecutionEngine
+from tests.helpers import run_until
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WatchdogDetector(None, block_threshold_ms=0)
+    with pytest.raises(ValueError):
+        WatchdogDetector(None, interval_ms=-1)
+
+
+def test_name_includes_threshold(k9):
+    assert WatchdogDetector(k9, block_threshold_ms=500.0).name == "WD-500ms"
+
+
+def test_misses_hangs_shorter_than_threshold(engine, k9):
+    detector = WatchdogDetector(k9, block_threshold_ms=1000.0,
+                                interval_ms=1000.0)
+    execution = run_until(
+        engine, k9, "folders",
+        lambda ex: ex.has_soft_hang and ex.response_time_ms < 600,
+    )
+    outcome = detector.process(execution)
+    assert not outcome.detections
+
+
+def test_catches_long_hangs_eventually(engine, k9):
+    detector = WatchdogDetector(k9, block_threshold_ms=300.0,
+                                interval_ms=150.0)
+    detections = []
+    for _ in range(40):
+        execution = run_until(
+            engine, k9, "open_email",
+            lambda ex: ex.response_time_ms > 900,
+        )
+        detector.reset()
+        detections.extend(detector.process(execution).detections)
+        if detections:
+            break
+    assert detections
+    assert detections[0].root is not None
+
+
+def test_sampling_misses_even_long_hangs_sometimes(device, k9):
+    """With a sparse ping schedule, some qualifying hangs slip through
+    — the structural weakness TI does not have."""
+    engine = ExecutionEngine(device, seed=9)
+    detector = WatchdogDetector(k9, block_threshold_ms=300.0,
+                                interval_ms=2000.0)
+    hangs = 0
+    detected = 0
+    executions = engine.run_session(k9, ["open_email"] * 40, gap_ms=700.0)
+    for execution in executions:
+        qualifying = any(
+            e.response_time_ms > 600 for e in execution.events
+        )
+        outcome = detector.process(execution)
+        if qualifying:
+            hangs += 1
+            detected += bool(outcome.detections)
+    assert hangs > 5
+    assert 0 < detected < hangs
+
+
+def test_single_dump_attribution_is_all_or_nothing(engine, k9):
+    detector = WatchdogDetector(k9, block_threshold_ms=200.0,
+                                interval_ms=100.0)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.response_time_ms > 900
+    )
+    outcome = detector.process(execution)
+    for detection in outcome.detections:
+        assert detection.occurrence in (0.0, 1.0)  # one-sample factor
+
+
+def test_cost_is_one_trace_per_firing(engine, k9):
+    detector = WatchdogDetector(k9, block_threshold_ms=200.0,
+                                interval_ms=100.0)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.response_time_ms > 900
+    )
+    outcome = detector.process(execution)
+    assert outcome.cost.trace_samples == len(outcome.detections)
+
+
+def test_watchdog_weaker_than_ti(device, k9):
+    """Head-to-head on identical sessions: the watchdog traces fewer
+    bug hangs than Looper-instrumented TI at the same threshold."""
+    from repro.detectors.timeout import TimeoutDetector
+
+    from repro.apps.catalog import get_app
+
+    # Short (~300 ms) hangs: QKSMS's compute bugs slip between pings.
+    qksms = get_app("QKSMS")
+    engine = ExecutionEngine(device, seed=4)
+    executions = engine.run_session(
+        qksms, ["open_conversation", "refresh_inbox"] * 20, gap_ms=900.0
+    )
+    ti = run_detector(TimeoutDetector(qksms, timeout_ms=100.0), executions)
+    wd = run_detector(
+        WatchdogDetector(qksms, block_threshold_ms=100.0,
+                         interval_ms=500.0),
+        executions,
+    )
+    assert wd.confusion().tp < ti.confusion().tp
+    assert wd.confusion().fn > 0

@@ -1,0 +1,49 @@
+"""Documentation quality gate: every public item has a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-exports are documented at their origin
+        if not inspect.getdoc(item):
+            missing.append(name)
+        if inspect.isclass(item):
+            for member_name, member in vars(item).items():
+                if member_name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(member)
+                        or isinstance(member, property)):
+                    continue
+                target = member.fget if isinstance(member, property) \
+                    else member
+                if target is not None and not inspect.getdoc(target):
+                    missing.append(f"{name}.{member_name}")
+    assert not missing, f"{module_name}: undocumented public items {missing}"

@@ -1,0 +1,120 @@
+"""Light-weight end-to-end checks of every paper experiment.
+
+Full-scale regenerations live in ``benchmarks/``; these tests run each
+experiment at reduced scale and assert the paper's *qualitative*
+claims (who wins, what gets detected, how states move).
+"""
+
+import pytest
+
+from repro.harness import exp_casestudy, exp_filter, exp_fleet, exp_motivation
+
+
+@pytest.fixture(scope="module")
+def table2_result(device):
+    return exp_motivation.table2(device, seed=5, executions_per_action=10)
+
+
+def test_figure1_fix_halves_response_time(device):
+    result = exp_motivation.figure1(device, seed=5, runs=15)
+    assert result.buggy_response_ms == pytest.approx(423.0, rel=0.1)
+    assert result.fixed_response_ms == pytest.approx(160.0, rel=0.15)
+    assert result.buggy_breakdown[0][0] == "android.hardware.Camera.open"
+
+
+def test_table2_100ms_catches_all_bugs(table2_result):
+    totals = table2_result.totals()
+    assert totals[100.0][0] == table2_result.total_bugs() == 19
+
+
+def test_table2_5s_misses_everything(table2_result):
+    totals = table2_result.totals()
+    assert totals[5000.0] == (0, 0)
+
+
+def test_table2_false_positives_grow_as_timeout_shrinks(table2_result):
+    totals = table2_result.totals()
+    fps = [totals[t][1] for t in (5000.0, 1000.0, 500.0, 100.0)]
+    assert fps[0] == fps[1] == 0
+    assert fps[2] < fps[3]
+    assert fps[3] >= 20
+
+
+def test_table3_difference_beats_main_only(device):
+    result = exp_filter.table3(device, seed=7, runs_per_case=5)
+    assert result.top_average("diff") > result.top_average("main")
+    assert 3.0 < result.improvement_percent() < 40.0
+
+
+def test_table3_top_events_are_kernel_events(device):
+    from repro.sim.counters import KERNEL_EVENTS
+
+    result = exp_filter.table3(device, seed=7, runs_per_case=5)
+    top5 = [event for event, _ in result.diff_ranking[:5]]
+    assert all(event in KERNEL_EVENTS for event in top5)
+
+
+def test_table4_top5_family_stable(device):
+    result = exp_filter.table4(device, seed=7, runs_per_case=5)
+    kernel = {"context-switches", "task-clock", "cpu-clock",
+              "page-faults", "minor-faults", "cpu-migrations"}
+    for fraction in result.rankings:
+        top = set(result.top_events(fraction, 5))
+        assert len(top & kernel) >= 4
+
+
+def test_figure4_filter_performance(device):
+    result = exp_filter.figure4(device, seed=7, runs_per_case=5)
+    assert result.recall > 0.9
+    assert result.prune_rate > 0.5
+    assert result.accuracy > 0.8
+    for event, (bug_rate, ui_rate) in result.exceedance.items():
+        assert bug_rate > ui_rate, event
+
+
+def test_figure5_early_windows_look_buggy(device):
+    result = exp_filter.figure5(device, seed=7)
+    assert result.ui_early_positive > result.ui_total_positive
+    bug_main = sum(m for _, m, _ in result.bug_series)
+    bug_render = sum(r for _, _, r in result.bug_series)
+    assert bug_main > bug_render
+
+
+def test_figure6_k9_walkthrough(device):
+    result = exp_casestudy.figure6(device, seed=3)
+    assert result.root_operation == "org.htmlcleaner.HtmlCleaner.clean"
+    assert result.occurrence_factor > 0.8
+    assert result.diagnoser_response_ms > 500.0
+    assert result.traces_collected > 20
+    assert "HtmlSanitizer" in result.sample_trace
+
+
+def test_figure7_folders_never_traced(device):
+    result = exp_casestudy.figure7(device, seed=1)
+    assert result.traces_for("folders") == 0
+    assert result.final_state("folders") == "N"
+
+
+def test_figure7_inbox_roundtrip(device):
+    result = exp_casestudy.figure7(device, seed=1)
+    assert result.traces_for("inbox") == 1
+    assert result.final_state("inbox") == "N"
+
+
+def test_table6_all_validation_bugs_recognized(device):
+    result = exp_fleet.table6(device, seed=11, runs=12)
+    assert result.total_bugs == 23
+    assert result.undetected == []
+    totals = result.totals()
+    assert all(count > 8 for count in totals.values())
+
+
+def test_table5_small_fleet(device):
+    result = exp_fleet.table5(
+        device, seed=2, users=2, actions_per_user=40, corpus_size=30
+    )
+    assert result.apps_tested == 30
+    assert result.total_detected >= 25
+    assert 0.55 < result.total_missed_offline / result.total_detected < 0.8
+    assert result.clean_apps_flagged == 0
+    assert "HtmlCleaner.clean" in " ".join(result.new_blocking_apis)

@@ -1,0 +1,182 @@
+"""Tests for the paper-sketched extensions: network monitoring
+(footnote 2), Spearman correlation (future work), and the background
+adaptation loop (§3.3.1)."""
+
+import pytest
+
+from repro.analysis.correlation import CounterSample, correlate, spearman
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog_helpers import action, op
+from repro.core.adaptation import BackgroundCollector
+from repro.core.config import HangDoctorConfig
+from repro.core.schecker import SChecker
+from repro.sim.engine import ExecutionEngine, NETWORK_BYTES_EVENT
+from repro.sim.timeline import MAIN_THREAD
+from tests.helpers import run_until
+
+
+def network_app():
+    fetch = action(
+        "fetch_feed", "onClick",
+        op(apis.HTTP_EXECUTE, "downloadFeed", "FeedService.java"),
+        op(apis.SET_TEXT, "showFeed", "FeedActivity.java"),
+    )
+    return AppSpec(name="NetApp", package="com.netapp", category="News",
+                   downloads=10, commit="abc", actions=(fetch,))
+
+
+# --- network extension ------------------------------------------------------
+
+
+def test_network_bytes_recorded_on_main_thread(device):
+    app = network_app()
+    engine = ExecutionEngine(device, seed=3)
+    execution = run_until(engine, app, "fetch_feed",
+                          lambda ex: ex.bug_caused_hang())
+    total = execution.timeline.total(
+        MAIN_THREAD, NETWORK_BYTES_EVENT,
+        execution.start_ms, execution.end_ms,
+    )
+    assert total > 10_000
+
+
+def test_non_network_apps_have_zero_network_bytes(device, k9):
+    engine = ExecutionEngine(device, seed=3)
+    execution = engine.run_action(k9, k9.action("open_email"))
+    assert execution.timeline.total(MAIN_THREAD, NETWORK_BYTES_EVENT) == 0.0
+
+
+def test_network_condition_fires(device):
+    config = HangDoctorConfig(network_threshold_bytes=1000.0)
+    schecker = SChecker(config, device)
+    app = network_app()
+    engine = ExecutionEngine(device, seed=3)
+    execution = run_until(engine, app, "fetch_feed",
+                          lambda ex: ex.bug_caused_hang())
+    check = schecker.check(execution)
+    assert check.fired[NETWORK_BYTES_EVENT]
+    assert check.symptomatic
+
+
+def test_network_condition_disabled_by_default(device, k9):
+    config = HangDoctorConfig()
+    schecker = SChecker(config, device)
+    engine = ExecutionEngine(device, seed=3)
+    execution = run_until(engine, k9, "folders",
+                          lambda ex: ex.has_soft_hang)
+    check = schecker.check(execution)
+    assert NETWORK_BYTES_EVENT not in check.fired
+
+
+def test_network_condition_quiet_on_local_work(device, k9):
+    config = HangDoctorConfig(network_threshold_bytes=1000.0)
+    schecker = SChecker(config, device)
+    engine = ExecutionEngine(device, seed=3)
+    execution = run_until(engine, k9, "folders",
+                          lambda ex: ex.has_soft_hang)
+    check = schecker.check(execution)
+    assert not check.fired[NETWORK_BYTES_EVENT]
+
+
+def test_network_bytes_validation():
+    with pytest.raises(ValueError):
+        apis.blocking_api("x", "a.B", mean_ms=200.0, network_bytes=-1)
+
+
+# --- spearman ----------------------------------------------------------------
+
+
+def test_spearman_monotone_nonlinear_is_perfect():
+    x = [1.0, 2.0, 3.0, 4.0, 5.0]
+    y = [v**3 for v in x]
+    assert spearman(x, y) == pytest.approx(1.0)
+
+
+def test_spearman_handles_ties():
+    assert -1.0 <= spearman([1, 1, 2, 2], [4, 3, 2, 1]) <= 0.0
+
+
+def test_spearman_length_check():
+    with pytest.raises(ValueError):
+        spearman([1], [1, 2])
+
+
+def test_correlate_spearman_method():
+    samples = [
+        CounterSample(values={"e": float(v)}, is_hang_bug=v > 5)
+        for v in range(10)
+    ]
+    linear = correlate(samples, events=("e",), method="pearson")
+    ranked = correlate(samples, events=("e",), method="spearman")
+    assert ranked["e"] > 0.8
+    assert linear["e"] > 0.8
+
+
+def test_correlate_unknown_method():
+    samples = [
+        CounterSample(values={"e": 1.0}, is_hang_bug=True),
+        CounterSample(values={"e": 0.0}, is_hang_bug=False),
+    ]
+    with pytest.raises(ValueError):
+        correlate(samples, events=("e",), method="kendall")
+
+
+# --- background collector -----------------------------------------------------
+
+
+def test_background_collector_samples_periodically(device, k9):
+    config = HangDoctorConfig()
+    collector = BackgroundCollector(device, config, app_package=k9.package,
+                                    period=5, batch_size=100)
+    engine = ExecutionEngine(device, seed=3)
+    for _ in range(40):
+        execution = engine.run_action(k9, k9.action("folders"))
+        collector.observe(execution)
+    # Every 5th execution that hung contributed a sample.
+    assert 4 <= len(collector.samples) <= 8
+
+
+def test_background_samples_are_labelled_by_traces(device, k9):
+    config = HangDoctorConfig()
+    collector = BackgroundCollector(device, config, app_package=k9.package,
+                                    period=1, batch_size=1000)
+    engine = ExecutionEngine(device, seed=3)
+    for _ in range(30):
+        collector.observe(engine.run_action(k9, k9.action("open_email")))
+        collector.observe(engine.run_action(k9, k9.action("folders")))
+    labels = {s.is_hang_bug for s in collector.samples}
+    assert labels == {True, False}
+
+
+def test_background_adaptation_fixes_broken_threshold(device, k9):
+    """Start with an absurd threshold set; the collector's adaptation
+    pass repairs it from its own observations."""
+    config = HangDoctorConfig(
+        filter_thresholds={"context-switches": 1e9, "task-clock": 1e18,
+                           "page-faults": 1e9}
+    )
+    collector = BackgroundCollector(device, config, app_package=k9.package,
+                                    period=1, batch_size=16)
+    engine = ExecutionEngine(device, seed=3)
+    adapted = None
+    for _ in range(200):
+        for name in ("open_email", "folders"):
+            result = collector.observe(
+                engine.run_action(k9, k9.action(name))
+            )
+            if result is not None:
+                adapted = result
+        if adapted:
+            break
+    assert adapted is not None
+    assert adapted.mode in ("light", "heavy")
+    fn_after, _ = adapted.errors_after
+    assert fn_after < adapted.errors_before[0]
+    # The shipped config was updated in place.
+    assert config.filter_thresholds == adapted.thresholds
+
+
+def test_background_collector_period_validation(device):
+    with pytest.raises(ValueError):
+        BackgroundCollector(device, HangDoctorConfig(), period=0)

@@ -1,0 +1,89 @@
+"""Tests for the experiment harness (training sets, tables, renderers)."""
+
+import pytest
+
+from repro.harness.tables import render_table
+from repro.harness.training import (
+    TRAINING_BUG_SITES,
+    build_ui_probe_app,
+    training_bug_cases,
+    training_ui_cases,
+    validation_bug_cases,
+)
+
+
+def test_training_set_sizes_match_paper():
+    """10 well-known bugs + 11 UI-APIs (paper §3.3.1)."""
+    assert len(training_bug_cases()) == 10
+    assert len(training_ui_cases()) == 11
+
+
+def test_validation_set_is_the_23_unknown_bugs():
+    assert len(validation_bug_cases()) == 23
+
+
+def test_training_bugs_are_offline_detectable():
+    for case in training_bug_cases():
+        op = case.app.operation_by_site(case.site_id)
+        assert op.api.known_blocking
+
+
+def test_validation_bugs_are_offline_missed():
+    for case in validation_bug_cases():
+        op = case.app.operation_by_site(case.site_id)
+        assert not op.api.known_blocking
+
+
+def test_training_and_validation_disjoint():
+    training = set(TRAINING_BUG_SITES)
+    for case in validation_bug_cases():
+        assert (case.app.name, case.action_name) not in training
+
+
+def test_ui_probe_has_eleven_actions():
+    probe = build_ui_probe_app()
+    assert len(probe.actions) == 11
+    assert not probe.has_hang_bugs()
+
+
+def test_ui_probe_actions_reliably_hang(device):
+    from repro.sim.engine import ExecutionEngine
+
+    probe = build_ui_probe_app()
+    engine = ExecutionEngine(device, seed=2)
+    hangs = 0
+    runs = 0
+    for action in probe.actions:
+        for _ in range(3):
+            runs += 1
+            hangs += engine.run_action(probe, action).has_soft_hang
+    assert hangs / runs > 0.7
+
+
+def test_collect_training_samples_labels(training_samples_diff):
+    bugs = [s for s in training_samples_diff if s.is_hang_bug]
+    uis = [s for s in training_samples_diff if not s.is_hang_bug]
+    assert len(bugs) == 10 * 5
+    assert len(uis) == 11 * 5
+
+
+def test_collect_training_samples_have_all_events(training_samples_diff):
+    from repro.sim.counters import ALL_EVENTS
+
+    for sample in training_samples_diff[:5]:
+        assert set(sample.values) == set(ALL_EVENTS)
+
+
+def test_render_table_alignment():
+    text = render_table(("name", "value"), [("a", 1), ("longer", 2.5)],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_formats_floats():
+    text = render_table(("v",), [(1.23456,), (1e9,)])
+    assert "1.23" in text
+    assert "1e+09" in text

@@ -1,0 +1,70 @@
+"""Unit tests for harness helpers (comparison math, stability stats)."""
+
+import pytest
+
+from repro.harness.exp_comparison import (
+    Figure8AppResult,
+    Figure8Result,
+    fit_utilization_thresholds,
+)
+from repro.harness.exp_stability import StabilityResult
+
+
+def synthetic_figure8():
+    return Figure8Result(apps=[
+        Figure8AppResult(
+            app_name="A",
+            confusion={"TI": (10, 20, 0), "HD": (8, 1, 2)},
+            overhead={"TI": 2.0, "HD": 1.0},
+        ),
+        Figure8AppResult(
+            app_name="B",
+            confusion={"TI": (4, 10, 0), "HD": (4, 0, 0)},
+            overhead={"TI": 3.0, "HD": 1.5},
+        ),
+    ])
+
+
+def test_normalized_tp_per_app():
+    result = synthetic_figure8()
+    table = result.normalized("tp")
+    assert table["A"]["HD"] == pytest.approx(0.8)
+    assert table["B"]["HD"] == pytest.approx(1.0)
+
+
+def test_normalized_average_row():
+    result = synthetic_figure8()
+    table = result.normalized("tp")
+    assert table["Average"]["HD"] == pytest.approx(0.9)
+    assert table["Average"]["TI"] == pytest.approx(1.0)
+
+
+def test_normalized_fp():
+    result = synthetic_figure8()
+    table = result.normalized("fp")
+    assert table["A"]["HD"] == pytest.approx(1 / 20)
+    assert table["B"]["HD"] == 0.0
+
+
+def test_overheads_average():
+    result = synthetic_figure8()
+    table = result.overheads()
+    assert table["Average"]["TI"] == pytest.approx(2.5)
+    assert table["Average"]["HD"] == pytest.approx(1.25)
+
+
+def test_fit_utilization_thresholds_low_below_high(device):
+    low, high = fit_utilization_thresholds(device, seed=3,
+                                           runs_per_case=2)
+    for metric in low.values:
+        assert low.values[metric] < high.values[metric]
+
+
+def test_stability_result_math():
+    result = StabilityResult(
+        metrics={"x": [1.0, 2.0, 3.0]}, seeds=(1, 2, 3)
+    )
+    assert result.mean("x") == pytest.approx(2.0)
+    assert result.spread("x") == (1.0, 3.0)
+    assert result.std("x") == pytest.approx(0.8165, abs=1e-3)
+    assert "x" in result.render()

@@ -1,0 +1,143 @@
+"""Cross-module integration stories."""
+
+import pytest
+
+from repro.analysis.metrics import detected_bug_sites
+from repro.apps.catalog import get_app
+from repro.apps.sessions import SessionGenerator
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.hang_doctor import HangDoctor
+from repro.detectors.offline import OfflineScanner
+from repro.detectors.runner import run_detector, run_detectors
+from repro.detectors.timeout import TimeoutDetector
+from repro.sim.engine import ExecutionEngine
+
+
+def test_hang_doctor_supplements_offline_detection(device):
+    """The paper's end-to-end story on Sage Math: offline finds the
+    known nested insert; Hang Doctor finds the unknown toJson bugs at
+    runtime and feeds them back to the database."""
+    sage = get_app("Sage Math")
+    db = BlockingApiDatabase.initial()
+    scanner = OfflineScanner(blocking_db=db)
+
+    offline_before = scanner.detected_sites(sage)
+    missed_before = {op.site_id for op in scanner.missed_bugs(sage)}
+    assert missed_before  # the toJson call sites
+
+    engine = ExecutionEngine(device, seed=8)
+    doctor = HangDoctor(sage, device, blocking_db=db, seed=8)
+    names = [a.name for a in sage.actions] * 25
+    run = run_detector(doctor, engine.run_session(sage, names, gap_ms=200.0))
+    runtime_sites = detected_bug_sites(sage, run.detections)
+    assert missed_before <= runtime_sites
+
+    # The database learned toJson; offline scanning improves.
+    assert db.knows("com.google.gson.Gson.toJson")
+    offline_after = scanner.detected_sites(sage)
+    assert offline_before < offline_after
+    assert not scanner.missed_bugs(sage)
+
+
+def test_database_learning_transfers_across_apps(device):
+    """A bug learned from SkyTube's jsoup hang lets the offline scanner
+    warn UOITDC Booking (which calls jsoup too) before release."""
+    db = BlockingApiDatabase.initial()
+    skytube = get_app("SkyTube")
+    uoitdc = get_app("UOITDC Booking")
+    scanner = OfflineScanner(blocking_db=db)
+    jsoup_sites_before = {
+        d.api_name for d in scanner.scan_app(uoitdc)
+    }
+    assert "org.jsoup.Jsoup.parse" not in jsoup_sites_before
+
+    engine = ExecutionEngine(device, seed=8)
+    doctor = HangDoctor(skytube, device, blocking_db=db, seed=8)
+    run_detector(
+        doctor, engine.run_session(skytube, ["open_video"] * 20,
+                                   gap_ms=200.0)
+    )
+    assert db.knows("org.jsoup.Jsoup.parse")
+    jsoup_sites_after = {d.api_name for d in scanner.scan_app(uoitdc)}
+    assert "org.jsoup.Jsoup.parse" in jsoup_sites_after
+
+
+def test_hang_doctor_beats_timeout_on_traced_false_positives(device, k9):
+    engine = ExecutionEngine(device, seed=6)
+    generator = SessionGenerator(seed=6)
+    executions = []
+    for session in generator.fleet_sessions(k9, users=2,
+                                            actions_per_user=40):
+        executions.extend(
+            engine.run_session(k9, session.action_names, gap_ms=500.0)
+        )
+    runs = run_detectors(
+        [TimeoutDetector(k9), HangDoctor(k9, device, seed=6)], executions
+    )
+    ti = runs["TI"].confusion()
+    hd = runs["HD"].confusion()
+    assert hd.fp < ti.fp / 3
+    assert hd.tp > 0.4 * ti.tp
+
+
+def test_hang_doctor_cheaper_than_timeout(device, k9):
+    engine = ExecutionEngine(device, seed=6)
+    generator = SessionGenerator(seed=6)
+    executions = []
+    for session in generator.fleet_sessions(k9, users=2,
+                                            actions_per_user=40):
+        executions.extend(
+            engine.run_session(k9, session.action_names, gap_ms=500.0)
+        )
+    runs = run_detectors(
+        [TimeoutDetector(k9), HangDoctor(k9, device, seed=6)], executions
+    )
+    assert runs["HD"].overhead().average_percent < (
+        runs["TI"].overhead().average_percent
+    )
+
+
+def test_fixed_app_produces_no_detections(device):
+    """After the developer applies Hang Doctor's fixes, the app runs
+    clean — the paper's verification methodology ("we fix the bug and
+    verify that the app does not have any more soft hangs")."""
+    sticker = get_app("StickerCamera")
+    fixed = sticker.fixed()
+    engine = ExecutionEngine(device, seed=8)
+    doctor = HangDoctor(fixed, device, seed=8)
+    names = [a.name for a in fixed.actions] * 15
+    run = run_detector(doctor, engine.run_session(fixed, names,
+                                                  gap_ms=200.0))
+    assert detected_bug_sites(fixed, run.detections) == set()
+
+
+def test_generality_across_devices(k9):
+    """The filter thresholds transfer across device profiles (paper:
+    verified on LG V10, Nexus 5, Galaxy S3)."""
+    from repro.core.config import HangDoctorConfig
+    from repro.core.schecker import SChecker
+    from repro.sim.device import ALL_DEVICES
+    from tests.helpers import run_until
+
+    for device in ALL_DEVICES:
+        engine = ExecutionEngine(device, seed=4)
+        schecker = SChecker(HangDoctorConfig(), device)
+        bug_execution = run_until(
+            engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+        )
+        assert schecker.check(bug_execution).symptomatic, device.name
+        ui_execution = run_until(
+            engine, k9, "folders", lambda ex: ex.has_soft_hang
+        )
+        assert not schecker.check(ui_execution).symptomatic, device.name
+
+
+def test_quickstart_docstring_flow(device, k9):
+    """The package docstring's quickstart runs as written."""
+    from repro import ExecutionEngine as Engine, HangDoctor as Doctor
+
+    engine = Engine(device, seed=1)
+    doctor = Doctor(k9, device)
+    for execution in engine.run_session(k9, ["open_email"] * 3):
+        outcome = doctor.process(execution)
+        assert outcome.cost.rt_events >= 1

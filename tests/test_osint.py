@@ -1,0 +1,94 @@
+"""Tests for repro.osint (OS-level integration)."""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.osint import AnrWatchdog, OsHangService
+from repro.osint.anr import ANR_TIMEOUT_MS
+from repro.sim.engine import ExecutionEngine
+from tests.helpers import run_until
+
+
+def test_anr_timeout_is_5_seconds():
+    assert ANR_TIMEOUT_MS == 5000.0
+
+
+def test_anr_misses_soft_hangs(device, k9):
+    """Paper §2.2: the stock watchdog catches nothing at 5 s."""
+    watchdog = AnrWatchdog()
+    engine = ExecutionEngine(device, seed=3)
+    for _ in range(30):
+        execution = engine.run_action(k9, k9.action("open_email"))
+        assert watchdog.observe(execution) == []
+    assert watchdog.events == []
+
+
+def test_anr_catches_hard_hangs(device, k9):
+    watchdog = AnrWatchdog(timeout_ms=300.0)  # artificially tight
+    engine = ExecutionEngine(device, seed=3)
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: ex.response_time_ms > 300
+    )
+    raised = watchdog.observe(execution)
+    assert raised
+    assert raised[0].app_name == "K9-mail"
+
+
+def test_anr_validation():
+    with pytest.raises(ValueError):
+        AnrWatchdog(timeout_ms=0)
+
+
+def test_service_creates_doctor_per_app(device, k9, andstatus):
+    service = OsHangService(device, seed=3)
+    engine = ExecutionEngine(device, seed=3)
+    service.observe(engine.run_action(k9, k9.action("folders")))
+    service.observe(
+        engine.run_action(andstatus, andstatus.action("compose"))
+    )
+    assert service.supervised_apps() == [
+        "com.fsck.k9", "org.andstatus.app"
+    ]
+    assert service.doctor_for(k9) is service.doctor_for(k9)
+
+
+def test_service_shares_database_across_apps(device):
+    """A bug learned from SkyTube's jsoup hang is instantly known for
+    every other app the service supervises."""
+    service = OsHangService(device, seed=3)
+    engine = ExecutionEngine(device, seed=3)
+    skytube = get_app("SkyTube")
+    for _ in range(30):
+        service.observe(
+            engine.run_action(skytube, skytube.action("open_video"))
+        )
+        if "org.jsoup.Jsoup.parse" in service.cross_app_discoveries():
+            break
+    assert "org.jsoup.Jsoup.parse" in service.cross_app_discoveries()
+    uoitdc = get_app("UOITDC Booking")
+    doctor = service.doctor_for(uoitdc)
+    assert doctor.blocking_db is service.blocking_db
+
+
+def test_system_report_aggregates(device):
+    service = OsHangService(device, seed=3)
+    engine = ExecutionEngine(device, seed=3)
+    for app_name in ("K9-mail", "SkyTube"):
+        app = get_app(app_name)
+        for action in app.actions:
+            for _ in range(8):
+                service.observe(engine.run_action(app, action))
+    assert len(service.report.detections) > 0
+    by_app = service.report.by_app()
+    assert set(by_app) <= {"K9-mail", "SkyTube"}
+    text = service.report.render()
+    assert "soft hang bug detections" in text
+
+
+def test_report_by_api_counts(device, k9):
+    service = OsHangService(device, seed=3)
+    engine = ExecutionEngine(device, seed=3)
+    for _ in range(40):
+        service.observe(engine.run_action(k9, k9.action("open_email")))
+    by_api = service.report.by_api()
+    assert by_api.get("org.htmlcleaner.HtmlCleaner.clean", 0) >= 1

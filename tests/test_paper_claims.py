@@ -1,0 +1,56 @@
+"""Tests for the paper-claim verification machinery."""
+
+import pytest
+
+from repro.harness.paper import (
+    Claim,
+    PAPER_CLAIMS,
+    render_checks,
+    verify_claims,
+)
+
+
+def test_tolerance_verdicts():
+    claim = Claim("x", "T", 10.0, tolerance=1.0)
+    assert claim.verdict(10.5) == "holds"
+    assert claim.verdict(11.5) == "close"
+    assert claim.verdict(13.0) == "deviates"
+
+
+def test_directional_verdicts():
+    below = Claim("x", "T", 0.1, direction="<=")
+    assert below.verdict(0.05) == "holds"
+    assert below.verdict(0.2) == "deviates"
+    above = Claim("y", "T", 8.0, direction=">=")
+    assert above.verdict(16.0) == "holds"
+    assert above.verdict(2.0) == "deviates"
+
+
+def test_registry_covers_headline_numbers():
+    keys = set(PAPER_CLAIMS)
+    for expected in ("fig1_buggy_ms", "t2_tp_100ms", "t3_top_corr",
+                     "t5_bugs", "t6_union", "fig8_hd_tp"):
+        assert expected in keys
+
+
+def test_verify_claims_rejects_unknown_keys():
+    with pytest.raises(KeyError):
+        verify_claims({"nonsense": 1.0})
+
+
+def test_verify_claims_partial_set():
+    checks = verify_claims({"t5_bugs": 34.0, "t6_union": 23.0})
+    assert len(checks) == 2
+    assert all(check.verdict == "holds" for check in checks)
+
+
+def test_render_checks():
+    checks = verify_claims({"t5_bugs": 34.0, "fig8_hd_fp": 0.03})
+    text = render_checks(checks)
+    assert "t5_bugs" in text
+    assert "holds" in text
+
+
+def test_claim_sources_are_paper_locations():
+    for claim in PAPER_CLAIMS.values():
+        assert claim.source.startswith(("Fig.", "Table"))

@@ -1,0 +1,118 @@
+"""Tests for repro.core.persistence (JSON round-trips, merging)."""
+
+import json
+
+import pytest
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.persistence import (
+    database_from_json,
+    database_to_json,
+    detection_to_record,
+    merge_reports,
+    report_from_json,
+    report_to_json,
+)
+from repro.core.report import HangBugReport
+
+
+def make_report(app="K9-mail", device=0, occurrences=2):
+    report = HangBugReport(app)
+    for _ in range(occurrences):
+        report.record(
+            operation="org.htmlcleaner.HtmlCleaner.clean",
+            file="HtmlCleaner.java", line=291, is_self_developed=False,
+            response_time_ms=1300.0, occurrence_factor=0.96,
+            device_id=device,
+        )
+    return report
+
+
+def test_report_roundtrip():
+    original = make_report()
+    restored = report_from_json(report_to_json(original))
+    assert restored.app_name == original.app_name
+    assert len(restored) == len(original)
+    entry = restored.entries()[0]
+    assert entry.operation == "org.htmlcleaner.HtmlCleaner.clean"
+    assert entry.occurrences == 2
+    assert entry.mean_hang_ms == pytest.approx(1300.0)
+
+
+def test_report_json_is_valid_json():
+    payload = json.loads(report_to_json(make_report()))
+    assert payload["schema"] == 1
+    assert payload["app"] == "K9-mail"
+
+
+def test_report_schema_check():
+    payload = json.loads(report_to_json(make_report()))
+    payload["schema"] = 99
+    with pytest.raises(ValueError):
+        report_from_json(json.dumps(payload))
+
+
+def test_merge_reports_sums_occurrences():
+    merged = merge_reports([
+        make_report(device=0, occurrences=3),
+        make_report(device=1, occurrences=2),
+    ])
+    entry = merged.entries()[0]
+    assert entry.occurrences == 5
+    assert entry.devices == {0, 1}
+
+
+def test_merge_reports_rejects_mixed_apps():
+    with pytest.raises(ValueError):
+        merge_reports([make_report("A"), make_report("B")])
+
+
+def test_merge_reports_explicit_name():
+    merged = merge_reports([make_report("A"), make_report("B")],
+                           app_name="Fleet")
+    assert merged.app_name == "Fleet"
+
+
+def test_merge_requires_input():
+    with pytest.raises(ValueError):
+        merge_reports([])
+
+
+def test_database_roundtrip():
+    db = BlockingApiDatabase.initial()
+    db.add("org.htmlcleaner.HtmlCleaner.clean")
+    restored = database_from_json(database_to_json(db))
+    assert restored.names() == db.names()
+    assert restored.runtime_discoveries() == db.runtime_discoveries()
+
+
+def test_database_schema_check():
+    payload = json.loads(database_to_json(BlockingApiDatabase.initial()))
+    payload["schema"] = 0
+    with pytest.raises(ValueError):
+        database_from_json(json.dumps(payload))
+
+
+def test_detection_record_is_anonymized(device, k9):
+    """The telemetry record carries only the fields the paper's
+    privacy note allows — no action names, no payloads."""
+    from repro.core.hang_doctor import HangDoctor
+    from repro.sim.engine import ExecutionEngine
+
+    engine = ExecutionEngine(device, seed=21)
+    doctor = HangDoctor(k9, device, seed=21)
+    record = None
+    for _ in range(40):
+        outcome = doctor.process(
+            engine.run_action(k9, k9.action("open_email"))
+        )
+        if outcome.detections:
+            record = detection_to_record(outcome.detections[0], device_id=7)
+            break
+    assert record is not None
+    assert set(record) == {
+        "operation", "file", "line", "self_developed",
+        "response_time_ms", "occurrence_factor", "device",
+    }
+    assert record["operation"] == "org.htmlcleaner.HtmlCleaner.clean"
+    assert record["device"] == 7

@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.correlation import CounterSample, pearson
+from repro.analysis.thresholds import FilterFit, fit_filter, fit_threshold
+from repro.base.frames import Frame, StackTrace, occurrence_factor
+from repro.core.states import ActionState, ActionStateMachine
+from repro.sim.timeline import MAIN_THREAD, Segment, Timeline
+
+# ---------------------------------------------------------------------------
+# Timeline invariants
+# ---------------------------------------------------------------------------
+
+segments_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e4),      # start
+        st.floats(min_value=0.01, max_value=500.0),    # duration
+        st.floats(min_value=0.0, max_value=1e6),       # count
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_timeline(raw):
+    timeline = Timeline()
+    for start, duration, count in sorted(raw, key=lambda r: r[0]):
+        timeline.add(
+            Segment(
+                thread=MAIN_THREAD, start_ms=start,
+                end_ms=start + duration, counts={"x": count},
+            )
+        )
+    return timeline
+
+
+@given(segments_strategy)
+def test_full_window_total_equals_sum(raw):
+    timeline = build_timeline(raw)
+    assert math.isclose(
+        timeline.total(MAIN_THREAD, "x"),
+        sum(count for _, _, count in raw),
+        rel_tol=1e-9, abs_tol=1e-6,
+    )
+
+
+@given(segments_strategy, st.floats(min_value=0.0, max_value=2e4))
+def test_window_split_is_additive(raw, split):
+    """total(a, b) + total(b, c) == total(a, c)."""
+    timeline = build_timeline(raw)
+    lo, hi = timeline.start_ms, timeline.end_ms
+    split = min(max(split, lo), hi)
+    left = timeline.total(MAIN_THREAD, "x", lo, split)
+    right = timeline.total(MAIN_THREAD, "x", split, hi)
+    whole = timeline.total(MAIN_THREAD, "x", lo, hi)
+    assert math.isclose(left + right, whole, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(segments_strategy,
+       st.floats(min_value=0.0, max_value=1e4),
+       st.floats(min_value=0.0, max_value=1e4))
+def test_window_totals_monotone(raw, a, b):
+    """A larger window never has a smaller total."""
+    timeline = build_timeline(raw)
+    lo, hi = min(a, b), max(a, b)
+    inner = timeline.total(MAIN_THREAD, "x", lo, hi)
+    outer = timeline.total(MAIN_THREAD, "x", lo - 100.0, hi + 100.0)
+    assert outer >= inner - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Occurrence factor
+# ---------------------------------------------------------------------------
+
+frame_strategy = st.builds(
+    Frame,
+    clazz=st.sampled_from(["a.B", "c.D", "e.F"]),
+    method=st.sampled_from(["m1", "m2", "m3"]),
+    file=st.just("F.java"),
+    line=st.integers(min_value=1, max_value=10),
+)
+
+traces_strategy = st.lists(
+    st.builds(
+        StackTrace,
+        time_ms=st.floats(min_value=0, max_value=100),
+        frames=st.lists(frame_strategy, max_size=4).map(tuple),
+    ),
+    max_size=20,
+)
+
+
+@given(traces_strategy, frame_strategy)
+def test_occurrence_factor_bounded(traces, frame):
+    factor = occurrence_factor(traces, frame)
+    assert 0.0 <= factor <= 1.0
+
+
+@given(traces_strategy, frame_strategy)
+def test_occurrence_factor_counts_exactly(traces, frame):
+    factor = occurrence_factor(traces, frame)
+    if traces:
+        manual = sum(frame in t.frames for t in traces) / len(traces)
+        assert math.isclose(factor, manual)
+
+
+# ---------------------------------------------------------------------------
+# Threshold fitting
+# ---------------------------------------------------------------------------
+
+samples_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.booleans(),
+    ),
+    min_size=2,
+    max_size=30,
+).filter(lambda rows: any(label for _, label in rows))
+
+
+@given(samples_strategy)
+def test_fit_threshold_cost_is_optimal_among_candidates(rows):
+    samples = [
+        CounterSample(values={"e": value}, is_hang_bug=label)
+        for value, label in rows
+    ]
+    threshold, cost = fit_threshold(samples, "e")
+    # Recompute cost at the chosen threshold; must match and be the
+    # minimum over a dense grid of alternatives.
+    def cost_at(t):
+        fn = sum(1 for s in samples
+                 if s.is_hang_bug and s.values["e"] <= t)
+        fp = sum(1 for s in samples
+                 if not s.is_hang_bug and s.values["e"] > t)
+        return 2.0 * fn + fp
+
+    assert math.isclose(cost, cost_at(threshold))
+    values = sorted({s.values["e"] for s in samples})
+    for candidate in values:
+        assert cost <= cost_at(candidate - 1e-9) + 1e-9
+        assert cost <= cost_at(candidate + 1e-9) + 1e-9
+
+
+@given(samples_strategy)
+def test_fit_filter_covers_all_bugs_given_enough_events(rows):
+    samples = [
+        CounterSample(values={"e": value, "marker": 1.0 if label else -1.0},
+                      is_hang_bug=label)
+        for value, label in rows
+    ]
+    fit = fit_filter(samples, ["e", "marker"])
+    _, _, fn, _ = fit.confusion(samples)
+    assert fn == 0
+
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                       st.floats(min_value=-10, max_value=10),
+                       min_size=1))
+def test_filter_fires_iff_some_event_exceeds(values):
+    fit = FilterFit(thresholds={"a": 0.0, "b": 1.0})
+    expected = values.get("a", 0.0) > 0.0 or values.get("b", 0.0) > 1.0
+    assert fit.fires(values) == expected
+
+
+# ---------------------------------------------------------------------------
+# Pearson correlation
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3),
+                min_size=2, max_size=50))
+def test_pearson_bounded(xs):
+    ys = [x * 0.5 + 1.0 for x in xs]
+    value = pearson(xs, ys)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(st.lists(st.tuples(st.floats(min_value=-1e3, max_value=1e3),
+                          st.floats(min_value=-1e3, max_value=1e3)),
+                min_size=2, max_size=50))
+def test_pearson_symmetric(pairs):
+    xs = [a for a, _ in pairs]
+    ys = [b for _, b in pairs]
+    assert math.isclose(pearson(xs, ys), pearson(ys, xs),
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# State machine
+# ---------------------------------------------------------------------------
+
+_EVENTS = st.lists(
+    st.sampled_from(["hang_symptomatic", "hang_clean", "hang_bug_confirmed",
+                     "hang_ui_diagnosed", "quiet"]),
+    max_size=60,
+)
+
+
+@given(_EVENTS)
+@settings(max_examples=60)
+def test_state_machine_never_reaches_illegal_state(events):
+    """Drive the machine with the component decision sequence Hang
+    Doctor would generate; every intermediate state must be legal and
+    Hang Bug must be absorbing."""
+    machine = ActionStateMachine(reset_period=4)
+    machine.register(1)
+    was_hang_bug = False
+    for event in events:
+        state = machine.state(1)
+        if was_hang_bug:
+            assert state is ActionState.HANG_BUG
+        if state is ActionState.UNCATEGORIZED:
+            if event == "hang_symptomatic":
+                machine.transition(1, ActionState.SUSPICIOUS, "S-Checker")
+            elif event == "hang_clean":
+                machine.transition(1, ActionState.NORMAL, "S-Checker")
+        elif state is ActionState.NORMAL:
+            machine.note_normal_execution(1)
+        elif state is ActionState.SUSPICIOUS:
+            if event == "hang_bug_confirmed":
+                machine.transition(1, ActionState.HANG_BUG, "Diagnoser")
+                was_hang_bug = True
+            elif event == "hang_ui_diagnosed":
+                machine.transition(1, ActionState.NORMAL, "Diagnoser")
+        assert machine.state(1) in ActionState

@@ -1,0 +1,85 @@
+"""Property-based tests for the trace analyzer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.base.frames import Frame, StackTrace
+from repro.core.trace_analyzer import TraceAnalyzer
+
+frames = st.builds(
+    Frame,
+    clazz=st.sampled_from([
+        "android.widget.TextView", "android.view.View",
+        "org.lib.Parser", "com.app.Worker", "java.io.FileInputStream",
+    ]),
+    method=st.sampled_from(["a", "b", "c"]),
+    file=st.just("F.java"),
+    line=st.integers(min_value=1, max_value=5),
+)
+
+stacks = st.lists(frames, min_size=0, max_size=4).map(tuple)
+
+trace_lists = st.lists(
+    st.builds(StackTrace, time_ms=st.floats(min_value=0, max_value=100),
+              frames=stacks),
+    max_size=25,
+)
+
+
+@given(trace_lists)
+@settings(max_examples=100)
+def test_analyzer_total_function(traces):
+    """The analyzer never raises and produces consistent fields."""
+    diagnosis = TraceAnalyzer(app_package="com.app").analyze(traces)
+    assert diagnosis.trace_count == len(traces)
+    assert 0.0 <= diagnosis.occurrence <= 1.0
+    if diagnosis.root is None:
+        assert not diagnosis.is_hang_bug
+        assert not diagnosis.is_ui
+    else:
+        # The root frame must come from the traces themselves.
+        all_frames = {f for t in traces for f in t.frames}
+        assert diagnosis.root in all_frames
+        # UI classification matches the frame's class.
+        from repro.apps.api import is_ui_class
+
+        assert diagnosis.is_ui == is_ui_class(diagnosis.root.clazz)
+        assert diagnosis.is_hang_bug == (not diagnosis.is_ui)
+        assert diagnosis.is_self_developed == diagnosis.root.clazz.startswith(
+            "com.app"
+        )
+
+
+@given(trace_lists)
+@settings(max_examples=60)
+def test_analyzer_occurrence_matches_root(traces):
+    diagnosis = TraceAnalyzer().analyze(traces)
+    if diagnosis.root is not None and traces:
+        manual = sum(
+            1 for t in traces if diagnosis.root in t.frames
+        ) / len(traces)
+        assert abs(diagnosis.occurrence - manual) < 1e-9
+
+
+@given(frames, st.integers(min_value=1, max_value=30))
+@settings(max_examples=50)
+def test_unanimous_traces_give_full_occurrence(frame, count):
+    traces = [StackTrace(time_ms=float(i), frames=(frame,))
+              for i in range(count)]
+    diagnosis = TraceAnalyzer().analyze(traces)
+    assert diagnosis.root == frame
+    assert diagnosis.occurrence == 1.0
+
+
+@given(trace_lists, st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=60)
+def test_caller_field_consistency(traces, threshold):
+    diagnosis = TraceAnalyzer(occurrence_threshold=threshold).analyze(traces)
+    if diagnosis.caller is not None:
+        # The caller must appear directly above the root in some trace.
+        found = False
+        for trace in traces:
+            for index in range(1, len(trace.frames)):
+                if (trace.frames[index] == diagnosis.root
+                        and trace.frames[index - 1] == diagnosis.caller):
+                    found = True
+        assert found

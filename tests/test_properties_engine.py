@@ -1,0 +1,135 @@
+"""Property-based tests over randomly generated apps.
+
+Hypothesis builds arbitrary (legal) app specs; the execution engine
+must uphold its invariants on all of them: event ordering, response
+times, counter non-negativity, ground-truth consistency.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.api import ApiKind, ApiSpec
+from repro.apps.app import ActionSpec, AppSpec, InputEventSpec, Operation
+from repro.sim.device import LG_V10
+from repro.sim.engine import ExecutionEngine
+from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+api_strategy = st.builds(
+    ApiSpec,
+    name=st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+    clazz=st.sampled_from([
+        "android.widget.TextView", "android.view.View",
+        "com.example.Worker", "java.io.FileInputStream",
+    ]),
+    kind=st.sampled_from(list(ApiKind)),
+    mean_ms=st.floats(min_value=1.0, max_value=800.0),
+    sigma=st.floats(min_value=0.05, max_value=0.6),
+    manifest_prob=st.floats(min_value=0.0, max_value=1.0),
+    fast_ms=st.floats(min_value=0.1, max_value=20.0),
+    cpu_share=st.floats(min_value=0.05, max_value=1.0),
+    render_share=st.floats(min_value=0.0, max_value=0.9),
+    pages=st.integers(min_value=0, max_value=3000),
+    pages_fast=st.integers(min_value=0, max_value=100),
+)
+
+
+def build_app(apis, on_worker_flags):
+    operations = tuple(
+        Operation(
+            api=api, caller_function=f"call{i}", caller_file="Main.java",
+            caller_line=10 + i, on_worker=worker and api.can_hang,
+        )
+        for i, (api, worker) in enumerate(zip(apis, on_worker_flags))
+    )
+    action = ActionSpec(
+        name="act", handler="onClick",
+        events=(InputEventSpec(name="e", operations=operations),),
+    )
+    return AppSpec(name="Gen", package="gen.app", category="Tools",
+                   downloads=1, commit="x", actions=(action,))
+
+
+app_strategy = st.tuples(
+    st.lists(api_strategy, min_size=1, max_size=5),
+    st.lists(st.booleans(), min_size=5, max_size=5),
+).map(lambda pair: build_app(pair[0], pair[1]))
+
+
+@given(app_strategy, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_engine_invariants(app, seed):
+    engine = ExecutionEngine(LG_V10, seed=seed)
+    execution = engine.run_action(app, app.actions[0])
+
+    # Events are processed in order without overlap.
+    previous_finish = execution.start_ms
+    for event in execution.events:
+        assert event.dispatch_ms >= previous_finish
+        assert event.finish_ms >= event.dispatch_ms
+        previous_finish = event.finish_ms
+
+    # Response time equals main-thread occupancy of the event.
+    for event in execution.events:
+        main_span = sum(
+            oe.duration_ms for oe in event.op_executions
+            if oe.thread == MAIN_THREAD
+        )
+        worker_dispatches = sum(
+            1 for oe in event.op_executions if oe.thread != MAIN_THREAD
+        )
+        assert event.response_time_ms >= main_span - 1e-6
+        assert event.response_time_ms <= main_span + worker_dispatches + 1.0
+
+    # Action end lies beyond the last event (settle), timeline beyond
+    # that (ambient).
+    assert execution.end_ms > execution.events[-1].finish_ms
+    assert execution.timeline.end_ms > execution.end_ms
+
+    # All counters are non-negative on every thread.
+    for thread in execution.timeline.threads():
+        for segment in execution.timeline.segments(thread):
+            for event_name, value in segment.counts.items():
+                assert value >= 0.0, (thread, event_name)
+
+    # Ground truth consistency: a bug-caused hang implies a hang.
+    if execution.bug_caused_hang():
+        assert execution.has_soft_hang
+        assert execution.hang_bug_sites()
+
+    # Worker-offloaded operations never block the main thread.
+    for event in execution.events:
+        for oe in event.op_executions:
+            if oe.op.on_worker:
+                assert oe.thread != MAIN_THREAD
+
+
+@given(app_strategy, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_engine_determinism(app, seed):
+    first = ExecutionEngine(LG_V10, seed=seed).run_action(
+        app, app.actions[0]
+    )
+    second = ExecutionEngine(LG_V10, seed=seed).run_action(
+        app, app.actions[0]
+    )
+    assert first.response_time_ms == second.response_time_ms
+    assert first.timeline.total(MAIN_THREAD, "task-clock") == (
+        second.timeline.total(MAIN_THREAD, "task-clock")
+    )
+
+
+@given(app_strategy, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_render_work_only_from_render_share(app, seed):
+    engine = ExecutionEngine(LG_V10, seed=seed)
+    execution = engine.run_action(app, app.actions[0])
+    has_render_ops = any(
+        op.api.render_share > 0 and not op.on_worker
+        for op in app.actions[0].operations()
+    )
+    op_render_segments = [
+        s for s in execution.timeline.segments(RENDER_THREAD)
+        if s.op is not None
+    ]
+    assert bool(op_render_segments) == has_render_ops

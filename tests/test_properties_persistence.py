@@ -1,0 +1,76 @@
+"""Property-based round-trip tests for the persistence layer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.core.persistence import (
+    database_from_json,
+    database_to_json,
+    merge_reports,
+    report_from_json,
+    report_to_json,
+)
+from repro.core.report import HangBugReport
+
+operation_names = st.sampled_from([
+    "a.B.read", "c.D.parse", "e.F.decode", "g.H.toJson",
+])
+
+record_strategy = st.tuples(
+    operation_names,
+    st.floats(min_value=100.0, max_value=5000.0),   # response time
+    st.floats(min_value=0.0, max_value=1.0),        # occurrence factor
+    st.integers(min_value=0, max_value=5),          # device
+)
+
+
+def build_report(records, app="App"):
+    report = HangBugReport(app)
+    for operation, rt, occ, device in records:
+        report.record(
+            operation=operation, file=operation.split(".")[0] + ".java",
+            line=10, is_self_developed=False, response_time_ms=rt,
+            occurrence_factor=occ, device_id=device,
+        )
+    return report
+
+
+@given(st.lists(record_strategy, max_size=20))
+@settings(max_examples=50)
+def test_report_roundtrip_preserves_everything(records):
+    original = build_report(records)
+    restored = report_from_json(report_to_json(original))
+    assert len(restored) == len(original)
+    assert restored.total_occurrences() == original.total_occurrences()
+    for before, after in zip(original.entries(), restored.entries()):
+        assert before.operation == after.operation
+        assert before.occurrences == after.occurrences
+        assert before.devices == after.devices
+        assert before.total_hang_ms == after.total_hang_ms
+
+
+@given(st.lists(record_strategy, min_size=1, max_size=10),
+       st.lists(record_strategy, min_size=1, max_size=10))
+@settings(max_examples=50)
+def test_merge_is_occurrence_additive(first, second):
+    merged = merge_reports([build_report(first), build_report(second)])
+    assert merged.total_occurrences() == len(first) + len(second)
+
+
+@given(st.lists(record_strategy, min_size=1, max_size=10))
+@settings(max_examples=30)
+def test_merge_with_empty_is_identity(records):
+    report = build_report(records)
+    merged = merge_reports([report, HangBugReport("App")])
+    assert merged.total_occurrences() == report.total_occurrences()
+    assert len(merged) == len(report)
+
+
+@given(st.sets(st.sampled_from([
+    "a.B.c", "d.E.f", "g.H.i", "j.K.l", "m.N.o",
+])))
+@settings(max_examples=40)
+def test_database_roundtrip(names):
+    db = BlockingApiDatabase(names)
+    restored = database_from_json(database_to_json(db))
+    assert restored.names() == names

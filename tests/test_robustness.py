@@ -1,0 +1,133 @@
+"""Failure-injection and misuse robustness tests.
+
+Production components must fail loudly on caller mistakes and degrade
+gracefully on odd-but-legal inputs.
+"""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.core.config import HangDoctorConfig
+from repro.core.diagnoser import Diagnoser
+from repro.core.hang_doctor import HangDoctor
+from repro.core.trace_analyzer import TraceAnalyzer
+from repro.detectors.timeout import TimeoutDetector
+from repro.sim.engine import ExecutionEngine
+from repro.sim.timeline import MAIN_THREAD, Segment, Timeline
+
+
+def test_hang_doctor_rejects_foreign_app_execution(device, k9, andstatus):
+    """Feeding another app's execution is a wiring bug: fail loudly."""
+    doctor = HangDoctor(k9, device)
+    engine = ExecutionEngine(device, seed=1)
+    foreign = engine.run_action(andstatus, andstatus.action("compose"))
+    # AndStatus also has a "compose" action: without an app identity
+    # check this would silently corrupt K9's state machine.
+    with pytest.raises(ValueError):
+        doctor.process(foreign)
+
+
+def test_invalid_config_rejected_at_construction(device, k9):
+    with pytest.raises(ValueError):
+        HangDoctor(k9, device, config=HangDoctorConfig(trace_period_ms=0))
+
+
+def test_diagnoser_survives_sub_period_hangs(device):
+    """A hang barely over 100 ms may yield very few trace samples; the
+    diagnosis must still complete (possibly rootless)."""
+    from repro.apps import android_apis as apis
+    from repro.apps.app import AppSpec
+    from repro.apps.catalog_helpers import action, op
+    from dataclasses import replace
+
+    short_bug = replace(apis.FILE_READ, mean_ms=110.0, sigma=0.05)
+    app = AppSpec(
+        name="Tight", package="t.app", category="Tools", downloads=1,
+        commit="x",
+        actions=(action("tap", "onClick", op(short_bug, "readTiny")),),
+    )
+    diagnoser = Diagnoser(HangDoctorConfig(), app_package="t.app")
+    engine = ExecutionEngine(device, seed=1)
+    for _ in range(20):
+        execution = engine.run_action(app, app.action("tap"))
+        if not execution.has_soft_hang:
+            continue
+        result = diagnoser.diagnose(execution)
+        assert result.diagnosed
+        for hang in result.hang_diagnoses:
+            assert hang.diagnosis.trace_count >= 1
+
+
+def test_analyzer_handles_single_trace():
+    from repro.base.frames import Frame, StackTrace
+
+    frame = Frame("a.B", "m", "B.java", 1)
+    diagnosis = TraceAnalyzer().analyze(
+        [StackTrace(time_ms=0.0, frames=(frame,))]
+    )
+    assert diagnosis.root == frame
+    assert diagnosis.occurrence == 1.0
+
+
+def test_timeout_detector_idempotent_on_same_execution(engine, k9):
+    """Replaying the same execution twice must yield identical
+    detections (the detector holds no hidden coupling to time)."""
+    detector = TimeoutDetector(k9, timeout_ms=100.0)
+    execution = engine.run_action(k9, k9.action("folders"))
+    first = detector.process(execution)
+    second = detector.process(execution)
+    assert [d.root_name for d in first.detections] == [
+        d.root_name for d in second.detections
+    ]
+
+
+def test_timeline_rejects_rewind_per_thread():
+    timeline = Timeline()
+    timeline.add(Segment(thread=MAIN_THREAD, start_ms=100, end_ms=200))
+    with pytest.raises(ValueError):
+        timeline.add(Segment(thread=MAIN_THREAD, start_ms=50, end_ms=60))
+
+
+def test_hang_doctor_handles_back_to_back_hangs(device):
+    """An app whose every action always hangs must not wedge the state
+    machine (every path stays legal)."""
+    from repro.apps import android_apis as apis
+    from repro.apps.app import AppSpec
+    from repro.apps.catalog_helpers import action, op
+
+    app = AppSpec(
+        name="AlwaysHang", package="a.app", category="Tools", downloads=1,
+        commit="x",
+        actions=(
+            action("slow", "onClick",
+                   op(apis.BITMAP_DECODE_FILE, "decodeBig")),
+        ),
+    )
+    doctor = HangDoctor(app, device)
+    engine = ExecutionEngine(device, seed=2)
+    for _ in range(30):
+        doctor.process(engine.run_action(app, app.action("slow")))
+    assert doctor.state_of("slow").value in ("hang_bug", "suspicious")
+
+
+def test_report_render_with_long_names():
+    from repro.core.report import HangBugReport
+
+    report = HangBugReport("X")
+    report.record(
+        operation="a" * 80, file="F.java", line=1,
+        is_self_developed=False, response_time_ms=200.0,
+        occurrence_factor=0.5,
+    )
+    text = report.render()
+    assert "a" * 80 in text
+
+
+def test_detection_root_name_none():
+    from repro.detectors.base import Detection
+
+    detection = Detection(
+        detector="T", app_name="A", action_name="a", time_ms=0.0,
+        response_time_ms=0.0, root=None,
+    )
+    assert detection.root_name is None

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.jank (frame production / dropped frames)."""
+
+import pytest
+
+from repro.sim.jank import (
+    FrameStats,
+    execution_frame_stats,
+    frame_stats,
+    hang_frame_stats,
+)
+from repro.sim.timeline import Timeline
+from tests.helpers import run_until
+
+
+def test_frame_stats_dataclass():
+    stats = FrameStats(expected=10.0, produced=4.0)
+    assert stats.dropped == 6.0
+    assert stats.jank_ratio == pytest.approx(0.6)
+
+
+def test_no_overproduction():
+    stats = FrameStats(expected=5.0, produced=9.0)
+    assert stats.dropped == 0.0
+    assert stats.jank_ratio == 0.0
+
+
+def test_empty_window():
+    stats = FrameStats(expected=0.0, produced=0.0)
+    assert stats.jank_ratio == 0.0
+
+
+def test_rejects_reversed_window(device):
+    with pytest.raises(ValueError):
+        frame_stats(Timeline(), device, 100.0, 50.0)
+
+
+def test_idle_timeline_is_fully_janky(device):
+    stats = frame_stats(Timeline(), device, 0.0, 1000.0)
+    assert stats.produced == 0.0
+    assert stats.jank_ratio == 1.0
+
+
+def test_bug_hang_freezes_frames(engine, device, k9):
+    execution = run_until(
+        engine, k9, "open_email",
+        lambda ex: ex.bug_caused_hang() and ex.response_time_ms > 800,
+    )
+    stats = hang_frame_stats(execution, device)
+    assert stats.jank_ratio > 0.8
+
+
+def test_ui_hang_keeps_producing_frames(engine, device, k9):
+    execution = run_until(
+        engine, k9, "folders", lambda ex: ex.has_soft_hang
+    )
+    stats = hang_frame_stats(execution, device)
+    assert stats.jank_ratio < 0.8
+
+
+def test_jank_separates_bug_from_ui(engine, device, k9):
+    """Dropped-frame ratio during hangs is itself a bug/UI separator —
+    consistent with the counter filter's causal story."""
+    bug = run_until(
+        engine, k9, "open_email", lambda ex: ex.bug_caused_hang()
+    )
+    ui = run_until(engine, k9, "folders", lambda ex: ex.has_soft_hang)
+    assert hang_frame_stats(bug, device).jank_ratio > (
+        hang_frame_stats(ui, device).jank_ratio + 0.2
+    )
+
+
+def test_no_hang_no_hang_frames(engine, device, k9):
+    execution = run_until(
+        engine, k9, "open_email", lambda ex: not ex.has_soft_hang
+    )
+    stats = hang_frame_stats(execution, device)
+    assert stats.expected == 0.0
+
+
+def test_execution_stats_cover_whole_action(engine, device, k9):
+    execution = engine.run_action(k9, k9.action("folders"))
+    stats = execution_frame_stats(execution, device)
+    span = execution.end_ms - execution.start_ms
+    assert stats.expected == pytest.approx(span / device.vsync_period_ms)

@@ -1,0 +1,107 @@
+"""Tests for repro.sim.looper (message queue + logging hooks)."""
+
+import pytest
+
+from repro.sim.looper import (
+    DISPATCH_PREFIX,
+    DispatchRecord,
+    FINISH_PREFIX,
+    Looper,
+    Message,
+)
+
+
+def msg(target="ev", enqueue=0.0):
+    return Message(target=target, payload=None, enqueue_ms=enqueue)
+
+
+def test_fifo_order():
+    looper = Looper()
+    looper.post(msg("first"))
+    looper.post(msg("second"))
+    seen = []
+
+    def handler(message, dispatch_ms):
+        seen.append(message.target)
+        return dispatch_ms + 10.0
+
+    looper.dispatch_all(handler, 0.0)
+    assert seen == ["first", "second"]
+
+
+def test_dispatch_next_empty_queue_returns_none():
+    assert Looper().dispatch_next(lambda m, t: t, 0.0) is None
+
+
+def test_pending_counts():
+    looper = Looper()
+    assert looper.pending() == 0
+    looper.post(msg())
+    assert looper.pending() == 1
+
+
+def test_response_time_is_dispatch_to_finish():
+    record = DispatchRecord(message=msg(enqueue=0.0), dispatch_ms=5.0,
+                            finish_ms=45.0)
+    assert record.response_time_ms == 40.0
+
+
+def test_latency_includes_queue_wait():
+    record = DispatchRecord(message=msg(enqueue=0.0), dispatch_ms=5.0,
+                            finish_ms=45.0)
+    assert record.latency_ms == 45.0
+
+
+def test_dispatch_waits_for_enqueue_time():
+    looper = Looper()
+    looper.post(msg(enqueue=100.0))
+    record = looper.dispatch_next(lambda m, t: t + 1.0, 0.0)
+    assert record.dispatch_ms == 100.0
+
+
+def test_handler_cannot_finish_before_dispatch():
+    looper = Looper()
+    looper.post(msg())
+    with pytest.raises(ValueError):
+        looper.dispatch_next(lambda m, t: t - 1.0, 10.0)
+
+
+def test_logging_lines_and_timestamps():
+    looper = Looper()
+    looper.post(msg("click"))
+    lines = []
+    looper.set_message_logging(lambda line, t: lines.append((line, t)))
+    looper.dispatch_all(lambda m, t: t + 25.0, 0.0)
+    assert lines == [
+        (f"{DISPATCH_PREFIX}click", 0.0),
+        (f"{FINISH_PREFIX}click", 25.0),
+    ]
+
+
+def test_multiple_printers_all_called():
+    looper = Looper()
+    looper.post(msg())
+    first, second = [], []
+    looper.set_message_logging(lambda line, t: first.append(line))
+    looper.set_message_logging(lambda line, t: second.append(line))
+    looper.dispatch_all(lambda m, t: t + 1.0, 0.0)
+    assert len(first) == 2
+    assert len(second) == 2
+
+
+def test_none_clears_printers():
+    looper = Looper()
+    looper.post(msg())
+    lines = []
+    looper.set_message_logging(lambda line, t: lines.append(line))
+    looper.set_message_logging(None)
+    looper.dispatch_all(lambda m, t: t + 1.0, 0.0)
+    assert lines == []
+
+
+def test_dispatch_all_chains_clock():
+    looper = Looper()
+    looper.post(msg("a"))
+    looper.post(msg("b"))
+    records = looper.dispatch_all(lambda m, t: t + 30.0, 0.0)
+    assert records[1].dispatch_ms == records[0].finish_ms

@@ -1,0 +1,65 @@
+"""Tests for repro.sim.memory (page-fault model)."""
+
+import numpy as np
+
+from repro.base.kinds import ApiKind
+from repro.base.rng import stream
+from repro.sim.memory import FaultCounts, segment_faults
+
+
+def test_zero_pages_zero_faults():
+    rng = stream("mem-test", 0)
+    counts = segment_faults(ApiKind.BLOCKING, 0, rng)
+    assert counts.total == 0
+
+
+def test_negative_pages_zero_faults():
+    rng = stream("mem-test", 1)
+    assert segment_faults(ApiKind.UI, -5, rng).total == 0
+
+
+def test_total_is_minor_plus_major():
+    counts = FaultCounts(minor=7, major=3)
+    assert counts.total == 10
+
+
+def test_mean_faults_tracks_pages():
+    rng = stream("mem-test", 2)
+    totals = [segment_faults(ApiKind.BLOCKING, 1000, rng).total
+              for _ in range(200)]
+    assert 900 < np.mean(totals) < 1100
+
+
+def test_blocking_has_more_major_faults_than_compute():
+    rng_blocking = stream("mem-test", "blocking")
+    rng_compute = stream("mem-test", "compute")
+    blocking_major = sum(
+        segment_faults(ApiKind.BLOCKING, 1000, rng_blocking).major
+        for _ in range(200)
+    )
+    compute_major = sum(
+        segment_faults(ApiKind.COMPUTE, 1000, rng_compute).major
+        for _ in range(200)
+    )
+    assert blocking_major > 3 * max(compute_major, 1)
+
+
+def test_light_has_no_major_faults():
+    rng = stream("mem-test", "light")
+    for _ in range(100):
+        assert segment_faults(ApiKind.LIGHT, 100, rng).major == 0
+
+
+def test_major_fraction_is_bursty():
+    """Major-fault shares vary wildly between segments (overdispersed)."""
+    rng = stream("mem-test", "bursty")
+    shares = []
+    for _ in range(300):
+        counts = segment_faults(ApiKind.BLOCKING, 2000, rng)
+        if counts.total:
+            shares.append(counts.major / counts.total)
+    shares = np.array(shares)
+    # A plain binomial at p=0.03 over 2000 trials would have tiny
+    # spread; burstiness makes the standard deviation comparable to
+    # the mean.
+    assert np.std(shares) > 0.5 * np.mean(shares)

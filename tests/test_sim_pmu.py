@@ -1,0 +1,88 @@
+"""Tests for repro.sim.pmu (register multiplexing)."""
+
+import pytest
+
+from repro.sim.counters import ALL_EVENTS, KERNEL_EVENTS, PMU_EVENTS
+from repro.sim.device import LG_V10
+from repro.sim.pmu import PmuSampler
+from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD, Segment, Timeline
+
+
+def make_timeline(value=1000.0):
+    timeline = Timeline()
+    counts = {event: value for event in ALL_EVENTS}
+    timeline.add(Segment(thread=MAIN_THREAD, start_ms=0, end_ms=100,
+                         counts=counts))
+    timeline.add(Segment(thread=RENDER_THREAD, start_ms=0, end_ms=100,
+                         counts={event: 400.0 for event in ALL_EVENTS}))
+    return timeline
+
+
+def test_unknown_event_rejected_at_construction():
+    with pytest.raises(ValueError):
+        PmuSampler(LG_V10, ("not-an-event",))
+
+
+def test_reading_uncounted_event_rejected():
+    sampler = PmuSampler(LG_V10, ("task-clock",))
+    with pytest.raises(KeyError):
+        sampler.read(make_timeline(), MAIN_THREAD, "instructions")
+
+
+def test_no_multiplexing_within_register_budget():
+    events = ("cpu-cycles", "instructions")
+    sampler = PmuSampler(LG_V10, events)
+    assert sampler.multiplex_factor == 1.0
+    value = sampler.read(make_timeline(), MAIN_THREAD, "cpu-cycles")
+    assert value == pytest.approx(1000.0)
+
+
+def test_kernel_events_always_exact():
+    sampler = PmuSampler(LG_V10, ALL_EVENTS)
+    assert sampler.multiplex_factor > 1.0
+    for event in KERNEL_EVENTS:
+        assert sampler.read(make_timeline(), MAIN_THREAD, event) == (
+            pytest.approx(1000.0)
+        )
+
+
+def test_pmu_events_noisy_under_multiplexing():
+    sampler = PmuSampler(LG_V10, ALL_EVENTS, seed=3)
+    readings = [
+        sampler.read(make_timeline(), MAIN_THREAD, "instructions")
+        for _ in range(20)
+    ]
+    assert len(set(readings)) > 1
+    for value in readings:
+        assert value == pytest.approx(1000.0, rel=0.8)
+
+
+def test_multiplex_factor_value():
+    sampler = PmuSampler(LG_V10, ALL_EVENTS)
+    assert sampler.multiplex_factor == pytest.approx(
+        len(PMU_EVENTS) / LG_V10.pmu_registers
+    )
+
+
+def test_filter_events_all_exact():
+    from repro.sim.counters import FILTER_EVENTS
+
+    sampler = PmuSampler(LG_V10, FILTER_EVENTS)
+    for event in FILTER_EVENTS:
+        assert sampler.read(make_timeline(), MAIN_THREAD, event) == (
+            pytest.approx(1000.0)
+        )
+
+
+def test_read_difference():
+    sampler = PmuSampler(LG_V10, ("task-clock",))
+    diff = sampler.read_difference(
+        make_timeline(), "task-clock", MAIN_THREAD, RENDER_THREAD
+    )
+    assert diff == pytest.approx(600.0)
+
+
+def test_zero_true_value_stays_zero():
+    sampler = PmuSampler(LG_V10, ALL_EVENTS)
+    empty = Timeline()
+    assert sampler.read(empty, MAIN_THREAD, "instructions") == 0.0

@@ -1,0 +1,108 @@
+"""Tests for repro.sim.scheduler (context-switch model)."""
+
+import numpy as np
+import pytest
+
+from repro.base.kinds import ApiKind
+from repro.base.rng import stream
+from repro.sim.device import LG_V10
+from repro.sim.scheduler import (
+    SwitchCounts,
+    cpu_migrations,
+    segment_switches,
+    wait_chunk_ms,
+)
+from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+
+def mean_switches(kind, thread, wall, cpu, n=200, chunk=None):
+    rng = stream("sched-test", kind.value, thread, wall, cpu)
+    totals = [
+        segment_switches(kind, thread, wall, cpu, LG_V10, rng,
+                         chunk_override=chunk)
+        for _ in range(n)
+    ]
+    return (
+        float(np.mean([s.voluntary for s in totals])),
+        float(np.mean([s.involuntary for s in totals])),
+    )
+
+
+def test_wait_chunk_ui_is_vsync():
+    assert wait_chunk_ms(ApiKind.UI, MAIN_THREAD, LG_V10) == (
+        LG_V10.vsync_period_ms
+    )
+
+
+def test_wait_chunk_blocking_is_io_chunk():
+    assert wait_chunk_ms(ApiKind.BLOCKING, MAIN_THREAD, LG_V10) == (
+        LG_V10.io_wait_chunk_ms
+    )
+
+
+def test_wait_chunk_override_wins_for_blocking():
+    assert wait_chunk_ms(
+        ApiKind.BLOCKING, MAIN_THREAD, LG_V10, override=200.0
+    ) == 200.0
+
+
+def test_wait_chunk_override_ignored_for_ui():
+    assert wait_chunk_ms(ApiKind.UI, MAIN_THREAD, LG_V10, override=200.0) == (
+        LG_V10.vsync_period_ms
+    )
+
+
+def test_involuntary_scales_with_cpu_time():
+    _, light = mean_switches(ApiKind.COMPUTE, MAIN_THREAD, 100.0, 100.0)
+    _, heavy = mean_switches(ApiKind.COMPUTE, MAIN_THREAD, 400.0, 400.0)
+    assert heavy > 2.5 * light
+
+
+def test_voluntary_scales_with_blocked_time():
+    few, _ = mean_switches(ApiKind.BLOCKING, MAIN_THREAD, 200.0, 150.0)
+    many, _ = mean_switches(ApiKind.BLOCKING, MAIN_THREAD, 200.0, 50.0)
+    assert many > 2.0 * few
+
+
+def test_long_wait_chunk_means_few_voluntary():
+    chunky, _ = mean_switches(
+        ApiKind.BLOCKING, MAIN_THREAD, 300.0, 60.0, chunk=200.0
+    )
+    fine, _ = mean_switches(ApiKind.BLOCKING, MAIN_THREAD, 300.0, 60.0)
+    assert chunky < fine / 5.0
+
+
+def test_render_voluntary_scales_with_render_cpu_not_wall():
+    idle, _ = mean_switches(ApiKind.UI, RENDER_THREAD, 500.0, 5.0)
+    busy, _ = mean_switches(ApiKind.UI, RENDER_THREAD, 500.0, 200.0)
+    assert busy > 10.0 * max(idle, 0.1)
+
+
+def test_pure_compute_has_no_voluntary():
+    voluntary, _ = mean_switches(ApiKind.COMPUTE, MAIN_THREAD, 300.0, 300.0)
+    assert voluntary == 0.0
+
+
+def test_cpu_ms_clamped_to_wall():
+    rng = stream("sched-test", "clamp")
+    counts = segment_switches(
+        ApiKind.COMPUTE, MAIN_THREAD, 100.0, 500.0, LG_V10, rng
+    )
+    # cpu clamps to wall: involuntary reflects 100 ms, not 500 ms.
+    assert counts.involuntary < 30
+
+
+def test_switch_counts_total():
+    assert SwitchCounts(voluntary=3, involuntary=4).total == 7
+
+
+def test_migrations_zero_without_switches():
+    rng = stream("sched-test", "mig")
+    assert cpu_migrations(SwitchCounts(0, 0), LG_V10, rng) == 0
+
+
+def test_migrations_bounded_by_switches():
+    rng = stream("sched-test", "mig2")
+    for _ in range(50):
+        migrations = cpu_migrations(SwitchCounts(10, 10), LG_V10, rng)
+        assert 0 <= migrations <= 20

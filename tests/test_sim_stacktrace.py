@@ -1,0 +1,70 @@
+"""Tests for repro.sim.stacktrace (the periodic sampler)."""
+
+import pytest
+
+from repro.base.frames import Frame
+from repro.sim.stacktrace import StackTraceSampler
+from repro.sim.timeline import MAIN_THREAD, Segment, Timeline
+
+
+def timeline_with_op(start=0.0, end=200.0, method="clean"):
+    frame = Frame("a.B", method, "B.java", 1)
+    timeline = Timeline()
+    timeline.add(Segment(thread=MAIN_THREAD, start_ms=start, end_ms=end,
+                         frames=(frame,)))
+    return timeline, frame
+
+
+def test_rejects_nonpositive_period():
+    with pytest.raises(ValueError):
+        StackTraceSampler(period_ms=0)
+
+
+def test_rejects_reversed_window():
+    sampler = StackTraceSampler()
+    timeline, _ = timeline_with_op()
+    with pytest.raises(ValueError):
+        sampler.sample(timeline, MAIN_THREAD, 100.0, 50.0)
+
+
+def test_sample_count_matches_period():
+    sampler = StackTraceSampler(period_ms=20.0)
+    timeline, _ = timeline_with_op()
+    traces = sampler.sample(timeline, MAIN_THREAD, 0.0, 200.0)
+    assert len(traces) == 10
+
+
+def test_samples_carry_active_frames():
+    sampler = StackTraceSampler(period_ms=50.0)
+    timeline, frame = timeline_with_op(end=100.0)
+    traces = sampler.sample(timeline, MAIN_THREAD, 0.0, 100.0)
+    assert all(trace.frames == (frame,) for trace in traces)
+
+
+def test_idle_samples_are_empty():
+    sampler = StackTraceSampler(period_ms=50.0)
+    timeline, _ = timeline_with_op(start=0.0, end=100.0)
+    traces = sampler.sample(timeline, MAIN_THREAD, 100.0, 300.0)
+    assert all(trace.frames == () for trace in traces)
+
+
+def test_timestamps_increase_by_period():
+    sampler = StackTraceSampler(period_ms=25.0)
+    timeline, _ = timeline_with_op()
+    traces = sampler.sample(timeline, MAIN_THREAD, 10.0, 110.0)
+    times = [trace.time_ms for trace in traces]
+    assert times == [10.0, 35.0, 60.0, 85.0]
+
+
+def test_empty_window_yields_no_traces():
+    sampler = StackTraceSampler()
+    timeline, _ = timeline_with_op()
+    assert sampler.sample(timeline, MAIN_THREAD, 50.0, 50.0) == []
+
+
+def test_paper_density_62_traces_for_1300ms_hang():
+    """The paper's Figure 6(b): ~62 traces over a 1.3 s hang."""
+    sampler = StackTraceSampler(period_ms=20.0)
+    timeline, _ = timeline_with_op(end=1300.0)
+    traces = sampler.sample(timeline, MAIN_THREAD, 0.0, 1300.0)
+    assert len(traces) == 65

@@ -1,0 +1,90 @@
+"""Tests for repro.testbed (the §4.6 in-lab alternative)."""
+
+import pytest
+
+from repro.apps.catalog import get_app
+from repro.sim.engine import ExecutionEngine
+from repro.testbed import MonkeyInputGenerator, TestBedRunner, lab_vs_wild
+
+
+def test_monkey_sequences_are_uniformish(k9):
+    monkey = MonkeyInputGenerator(seed=0)
+    sequence = monkey.action_sequence(k9, 500)
+    counts = {name: sequence.count(name) for name in set(sequence)}
+    assert len(counts) == len(k9.actions)
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_monkey_deterministic(k9):
+    first = MonkeyInputGenerator(seed=3).action_sequence(k9, 50)
+    second = MonkeyInputGenerator(seed=3).action_sequence(k9, 50)
+    assert first == second
+
+
+def test_monkey_coverage(k9):
+    monkey = MonkeyInputGenerator(seed=0)
+    assert monkey.coverage(k9, 200) == 1.0
+    assert monkey.coverage(k9, 1) == pytest.approx(1 / len(k9.actions))
+
+
+def test_monkey_throttle_validation():
+    with pytest.raises(ValueError):
+        MonkeyInputGenerator(throttle_ms=-1.0)
+
+
+def test_lab_engine_scales_manifestation(device, k9):
+    """K9's clean never manifests on synthetic lab inputs
+    (lab_manifest_scale = 0)."""
+    engine = ExecutionEngine(device, seed=2, environment="lab")
+    action = k9.action("open_email")
+    for _ in range(30):
+        execution = engine.run_action(k9, action)
+        assert not execution.bug_caused_hang()
+
+
+def test_wild_engine_unchanged(device, k9):
+    engine = ExecutionEngine(device, seed=2, environment="wild")
+    action = k9.action("open_email")
+    manifested = sum(
+        engine.run_action(k9, action).bug_caused_hang() for _ in range(30)
+    )
+    assert manifested > 5
+
+
+def test_engine_rejects_unknown_environment(device):
+    with pytest.raises(ValueError):
+        ExecutionEngine(device, environment="staging")
+
+
+def test_testbed_finds_content_independent_bugs(device):
+    sticker = get_app("StickerCamera")
+    runner = TestBedRunner(device, seed=4)
+    found = runner.run(sticker, event_count=120)
+    assert len(found) == 3  # all camera/bitmap/file bugs manifest in lab
+
+
+def test_testbed_filters_ui_hangs(device, k9):
+    runner = TestBedRunner(device, seed=4)
+    found = runner.run(k9, event_count=60)
+    for site in found:
+        op = k9.operation_by_site(site)
+        assert op.is_hang_bug
+
+
+def test_lab_vs_wild_gap(device):
+    """The paper's point: the lab misses content-dependent bugs that
+    the wild catches (K9's HtmlCleaner hang needs a real heavy email)."""
+    apps = [get_app("K9-mail"), get_app("StickerCamera")]
+    report = lab_vs_wild(apps, device, seed=4)
+    missed = report.missed_in_lab()
+    assert any("HtmlCleaner.clean" in site for _, site in missed)
+    assert report.wild_found > report.lab_found
+
+
+def test_lab_report_render(device):
+    report = lab_vs_wild([get_app("SkyTube")], device, seed=4,
+                         lab_events=60, wild_users=1,
+                         wild_actions_per_user=30)
+    text = report.render()
+    assert "SkyTube" in text
+    assert "TOTAL" in text

@@ -1,0 +1,57 @@
+"""Error paths of the training-sample machinery."""
+
+import pytest
+
+from repro.analysis.correlation import collect_samples
+from repro.apps import android_apis as apis
+from repro.apps.app import AppSpec
+from repro.apps.catalog_helpers import action, op
+from repro.harness.training import Case, collect_training_samples
+from repro.sim.engine import ExecutionEngine
+from repro.sim.pmu import PmuSampler
+
+
+def test_collect_samples_requires_sampler(engine, k9):
+    execution = engine.run_action(k9, k9.action("folders"))
+    with pytest.raises(ValueError):
+        collect_samples(execution, True)
+
+
+def test_collect_samples_rejects_unknown_mode(engine, device, k9):
+    execution = engine.run_action(k9, k9.action("folders"))
+    sampler = PmuSampler(device, ("task-clock",))
+    with pytest.raises(ValueError):
+        collect_samples(execution, True, mode="render",
+                        sampler=sampler, events=("task-clock",))
+
+
+def test_collect_training_samples_fails_on_never_hanging_case(device):
+    quick = action("tap", "onClick", op(apis.LOG_D, "logTap"))
+    app = AppSpec(name="Quick", package="q.app", category="Tools",
+                  downloads=1, commit="x", actions=(quick,))
+    case = Case(app=app, action_name="tap", is_hang_bug=False)
+    engine = ExecutionEngine(device, seed=1)
+    with pytest.raises(RuntimeError, match="rarely hangs"):
+        collect_training_samples(engine, [case], runs_per_case=3)
+
+
+def test_training_case_requires_bug_in_action(device):
+    from repro.harness.training import training_bug_cases
+
+    for case in training_bug_cases():
+        op_found = case.app.operation_by_site(case.site_id)
+        assert op_found.is_hang_bug
+
+
+def test_main_mode_samples_differ_from_diff_mode(engine, device, k9):
+    from repro.sim.counters import FILTER_EVENTS
+
+    sampler = PmuSampler(device, FILTER_EVENTS)
+    execution = engine.run_action(k9, k9.action("folders"))
+    diff = collect_samples(execution, False, mode="diff",
+                           events=FILTER_EVENTS, sampler=sampler)
+    main = collect_samples(execution, False, mode="main",
+                           events=FILTER_EVENTS, sampler=sampler)
+    # Main-only totals are non-negative; diffs for a UI action are not.
+    assert all(value >= 0 for value in main.values.values())
+    assert diff.values != main.values

@@ -1,0 +1,80 @@
+"""Tests for repro.viz (terminal plots)."""
+
+import pytest
+
+from repro.viz import (
+    distribution_panel,
+    dual_series_chart,
+    hbar_chart,
+    series_chart,
+    strip_chart,
+)
+
+
+def test_hbar_chart_scales_to_max():
+    text = hbar_chart([("a", 2.0), ("b", 1.0)], width=4)
+    lines = text.splitlines()
+    assert lines[0].count("█") == 4
+    assert lines[1].count("█") == 2
+
+
+def test_hbar_chart_title_and_empty():
+    assert hbar_chart([], title="T") == "T"
+    assert "T" in hbar_chart([("a", 1.0)], title="T")
+
+
+def test_hbar_chart_label_alignment():
+    text = hbar_chart([("long-label", 1.0), ("x", 1.0)], width=3)
+    lines = text.splitlines()
+    assert lines[0].index("█") == lines[1].index("█")
+
+
+def test_strip_chart_places_threshold():
+    text = strip_chart([0.0, 10.0], threshold=5.0, width=10)
+    assert "|" in text or "┿" in text
+    assert text.count("•") >= 1
+
+
+def test_strip_chart_empty():
+    assert "no samples" in strip_chart([], label="x ")
+
+
+def test_strip_chart_range_annotation():
+    text = strip_chart([1.0, 9.0], width=10)
+    assert "[1 .. 9]" in text
+
+
+def test_distribution_panel_structure():
+    text = distribution_panel("context-switches", [10, 20], [-5, -10], 0.0)
+    lines = text.splitlines()
+    assert lines[0].startswith("context-switches")
+    assert lines[1].startswith("  HB ")
+    assert lines[2].startswith("  UI ")
+
+
+def test_series_chart_height():
+    series = [(i * 0.1, float(i % 5)) for i in range(100)]
+    text = series_chart(series, width=20, height=5)
+    assert len(text.splitlines()) == 7  # title + 5 rows + axis
+
+
+def test_series_chart_empty():
+    assert "no data" in series_chart([], label="x")
+
+
+def test_dual_series_chart_contains_both():
+    main = [(0.0, 1.0), (0.1, 2.0)]
+    render = [(0.0, 0.5), (0.1, 1.5)]
+    text = dual_series_chart(main, render)
+    assert "main thread" in text
+    assert "render thread" in text
+
+
+def test_charts_on_real_figure5_data(device):
+    from repro.harness.exp_filter import figure5
+
+    result = figure5(device, seed=7)
+    main = [(t, m) for t, m, _ in result.bug_series]
+    render = [(t, r) for t, _, r in result.bug_series]
+    text = dual_series_chart(main, render)
+    assert "█" in text
