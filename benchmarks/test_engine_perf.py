@@ -63,3 +63,56 @@ def test_counter_model_throughput(benchmark, device):
         )
     )
     assert len(counts) == 46
+
+
+def test_counter_model_filter_only_throughput(benchmark, device):
+    """The lazy fast path: only S-Checker's three filter events."""
+    from repro.base.kinds import ApiKind
+    from repro.base.rng import stream
+    from repro.sim.counters import FILTER_EVENTS, CounterModel
+
+    model = CounterModel(device, events=FILTER_EVENTS)
+    uarch = {"ipc": 1.0, "cache": 1.0, "branch": 1.0, "tlb": 1.0,
+             "mem": 1.0}
+    rng = stream("perf", 2)
+    counts = benchmark(
+        lambda: model.segment_counts(
+            kind=ApiKind.BLOCKING, thread="main", wall_ms=300.0,
+            cpu_ms=180.0, pages=900, uarch=uarch, rng=rng,
+        )
+    )
+    assert tuple(counts) == FILTER_EVENTS
+
+
+def test_counter_model_lazy_speedup(device):
+    """Filter-events-only sampling must be at least 3x faster than the
+    full 46-event model.  Timed with min-of-repeats so one scheduler
+    hiccup on a loaded CI box cannot fail the assertion."""
+    import time
+
+    from repro.base.kinds import ApiKind
+    from repro.base.rng import stream
+    from repro.sim.counters import FILTER_EVENTS, CounterModel
+
+    uarch = {"ipc": 1.0, "cache": 1.0, "branch": 1.0, "tlb": 1.0,
+             "mem": 1.0}
+
+    def best_time(model, n=3000, reps=3):
+        best = float("inf")
+        for rep in range(reps):
+            rng = stream("perf-speedup", rep)
+            started = time.perf_counter()
+            for _ in range(n):
+                model.segment_counts(
+                    kind=ApiKind.BLOCKING, thread="main", wall_ms=300.0,
+                    cpu_ms=180.0, pages=900, uarch=uarch, rng=rng,
+                )
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    full = best_time(CounterModel(device))
+    lazy = best_time(CounterModel(device, events=FILTER_EVENTS))
+    speedup = full / lazy
+    assert speedup >= 3.0, (
+        f"lazy counter mode only {speedup:.2f}x faster than full mode"
+    )

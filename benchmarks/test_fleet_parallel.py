@@ -1,0 +1,32 @@
+"""Fleet-throughput benchmark for the parallel runner.
+
+Not a paper artifact: measures a scaled-down Table 5 run end to end,
+serial and sharded, and asserts the headline guarantee of
+:mod:`repro.parallel` — worker count never changes the rendered
+output.  (On a single-core box the sharded run is not expected to be
+faster; the benchmark exists to catch regressions in per-app cost and
+in the merge path, and to exercise the pool on machines that have
+one.)
+"""
+
+import pytest
+
+from repro.harness.exp_fleet import table5
+
+FLEET_KWARGS = dict(seed=0, users=1, actions_per_user=10, corpus_size=22)
+
+
+def test_fleet_serial_throughput(benchmark, device):
+    result = benchmark(lambda: table5(device, workers=1, **FLEET_KWARGS))
+    assert result.apps_tested == FLEET_KWARGS["corpus_size"]
+
+
+def test_fleet_sharded_throughput(benchmark, device):
+    result = benchmark(lambda: table5(device, workers=2, **FLEET_KWARGS))
+    assert result.apps_tested == FLEET_KWARGS["corpus_size"]
+
+
+def test_fleet_sharded_output_identical(device):
+    serial = table5(device, workers=1, **FLEET_KWARGS)
+    sharded = table5(device, workers=4, **FLEET_KWARGS)
+    assert sharded.render() == serial.render()

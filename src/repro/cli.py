@@ -24,6 +24,15 @@ from repro.sim.device import ALL_DEVICES
 from repro.sim.engine import ExecutionEngine
 
 
+def _workers(value):
+    value = int(value)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 = one worker per CPU)"
+        )
+    return value
+
+
 def _device(name):
     for device in ALL_DEVICES:
         if device.name.lower().replace(" ", "-") == name.lower():
@@ -78,7 +87,8 @@ def cmd_fleet(args):
     from repro.harness.exp_fleet import table5
 
     result = table5(_device(args.device), seed=args.seed,
-                    users=args.users, actions_per_user=args.actions)
+                    users=args.users, actions_per_user=args.actions,
+                    workers=args.workers)
     print(result.render())
 
 
@@ -87,7 +97,8 @@ def cmd_compare(args):
     from repro.harness.exp_comparison import figure8
 
     result = figure8(_device(args.device), seed=args.seed,
-                     users=args.users, actions_per_user=args.actions)
+                     users=args.users, actions_per_user=args.actions,
+                     workers=args.workers)
     print(result.render())
 
 
@@ -110,7 +121,7 @@ def cmd_reproduce(args):
 
     print(f"Reproducing all experiments into {args.out}/ ...")
     generate_all(_device(args.device), args.out, seed=args.seed,
-                 progress=progress)
+                 progress=progress, workers=args.workers)
     print("done.")
 
 
@@ -171,15 +182,24 @@ def build_parser():
                       help="source-level scanning (no library bytecode)")
     scan.set_defaults(func=cmd_scan)
 
+    workers_help = (
+        "worker processes for app-sharded experiments "
+        "(0 = one per CPU; results are identical for any count)"
+    )
+
     fleet = sub.add_parser("fleet", help="the Table 5 fleet study")
     fleet.add_argument("--users", type=int, default=4)
     fleet.add_argument("--actions", type=int, default=60)
+    fleet.add_argument("--workers", type=_workers, default=1,
+                       help=workers_help)
     fleet.set_defaults(func=cmd_fleet)
 
     compare = sub.add_parser("compare",
                              help="the Figure 8 detector comparison")
     compare.add_argument("--users", type=int, default=2)
     compare.add_argument("--actions", type=int, default=50)
+    compare.add_argument("--workers", type=_workers, default=1,
+                         help=workers_help)
     compare.set_defaults(func=cmd_compare)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
@@ -189,6 +209,8 @@ def build_parser():
         "reproduce", help="regenerate every paper table and figure"
     )
     reproduce.add_argument("--out", default="reproduction")
+    reproduce.add_argument("--workers", type=_workers, default=1,
+                           help=workers_help)
     reproduce.set_defaults(func=cmd_reproduce)
 
     verify = sub.add_parser(

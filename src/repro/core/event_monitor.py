@@ -26,6 +26,14 @@ class PerformanceEventMonitor:
         #: Number of end-of-action counter reads performed.
         self.reads = 0
 
+    @property
+    def kernel_only(self):
+        """True when the monitored set needs no PMU registers — the
+        configuration that pairs with a lazily-restricted
+        :class:`~repro.sim.counters.CounterModel` (the engine then
+        skips generating the 37 PMU events these reads never touch)."""
+        return self._sampler.kernel_only
+
     def read_differences(self, execution, start_ms=None, end_ms=None):
         """Main−render difference of every monitored event.
 

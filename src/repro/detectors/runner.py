@@ -23,6 +23,30 @@ class DetectorRun:
     outcomes: List = field(default_factory=list)
     cost: MonitoringCost = field(default_factory=MonitoringCost)
 
+    @classmethod
+    def merge(cls, parts):
+        """Recombine runs of one detector over disjoint session slices.
+
+        Executions and outcomes concatenate in the order given (so
+        callers sharding a session keep session order by submitting
+        shards in order); costs sum.  All parts must belong to the
+        same detector.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("need at least one DetectorRun to merge")
+        names = {part.detector_name for part in parts}
+        if len(names) > 1:
+            raise ValueError(
+                f"cannot merge runs of different detectors: {sorted(names)}"
+            )
+        merged = cls(detector_name=parts[0].detector_name)
+        for part in parts:
+            merged.executions.extend(part.executions)
+            merged.outcomes.extend(part.outcomes)
+            merged.cost.add(part.cost)
+        return merged
+
     @property
     def detections(self):
         """All detections, in session order."""

@@ -29,6 +29,7 @@ from repro.detectors.utilization import (
 )
 from repro.harness.tables import render_table
 from repro.harness.training import training_bug_cases, validation_bug_cases
+from repro.parallel import parallel_map
 from repro.sim.engine import ExecutionEngine
 
 #: The representative apps of the paper's Figure 8.
@@ -96,6 +97,16 @@ class Figure8Result:
 
     apps: List[Figure8AppResult]
 
+    @classmethod
+    def merge(cls, parts):
+        """Recombine per-app shard results in submission order."""
+        apps = []
+        for part in parts:
+            apps.extend(
+                part.apps if isinstance(part, Figure8Result) else [part]
+            )
+        return cls(apps=apps)
+
     def detector_names(self):
         """Detectors present, in the canonical order where known."""
         present = list(self.apps[0].confusion)
@@ -158,34 +169,49 @@ class Figure8Result:
         return "\n\n".join(blocks)
 
 
+def _figure8_shard(payload):
+    """Run the whole detector lineup over one app (module-level so the
+    process pool can pickle it); returns a :class:`Figure8AppResult`."""
+    (device, seed, app_name, users, actions_per_user, low, high,
+     overhead_model) = payload
+    app = get_app(app_name)
+    generator = SessionGenerator(seed=seed)
+    engine = ExecutionEngine(device, seed=seed)
+    executions = []
+    for session in generator.fleet_sessions(app, users, actions_per_user):
+        executions.extend(
+            engine.run_session(app, session.action_names, gap_ms=1000.0)
+        )
+    detectors = build_detectors(app, device, low, high, seed=seed)
+    runs = run_detectors(detectors, executions)
+    confusion = {}
+    overhead = {}
+    for name, run in runs.items():
+        counts = run.confusion()
+        confusion[name] = (counts.tp, counts.fp, counts.fn)
+        overhead[name] = run.overhead(overhead_model).average_percent
+    return Figure8AppResult(
+        app_name=app_name, confusion=confusion, overhead=overhead
+    )
+
+
 def figure8(device, seed=0, users=2, actions_per_user=60, app_names=None,
-            overhead_model=None):
-    """Reproduce Figure 8's detection-performance and overhead study."""
+            overhead_model=None, workers=1, thresholds=None):
+    """Reproduce Figure 8's detection-performance and overhead study.
+
+    ``workers`` shards the study at app granularity; every app's
+    executions and detector runs depend only on (device, seed, app),
+    so any worker count yields identical results.  *thresholds* can
+    supply precomputed ``(low, high)`` utilization thresholds to skip
+    the fitting pass (useful for sweeps that reuse one fit).
+    """
     app_names = app_names or FIGURE8_APPS
     overhead_model = overhead_model or OverheadModel()
-    low, high = fit_utilization_thresholds(device, seed=seed)
-    generator = SessionGenerator(seed=seed)
-
-    results = []
-    for app_name in app_names:
-        app = get_app(app_name)
-        engine = ExecutionEngine(device, seed=seed)
-        executions = []
-        for session in generator.fleet_sessions(app, users, actions_per_user):
-            executions.extend(
-                engine.run_session(app, session.action_names, gap_ms=1000.0)
-            )
-        detectors = build_detectors(app, device, low, high, seed=seed)
-        runs = run_detectors(detectors, executions)
-        confusion = {}
-        overhead = {}
-        for name, run in runs.items():
-            counts = run.confusion()
-            confusion[name] = (counts.tp, counts.fp, counts.fn)
-            overhead[name] = run.overhead(overhead_model).average_percent
-        results.append(
-            Figure8AppResult(
-                app_name=app_name, confusion=confusion, overhead=overhead
-            )
-        )
-    return Figure8Result(apps=results)
+    low, high = thresholds or fit_utilization_thresholds(device, seed=seed)
+    shards = [
+        (device, seed, app_name, users, actions_per_user, low, high,
+         overhead_model)
+        for app_name in app_names
+    ]
+    results = parallel_map(_figure8_shard, shards, workers=workers)
+    return Figure8Result(apps=list(results))

@@ -10,8 +10,18 @@ Table 6: for each previously-unknown (validation) bug, which of the
 three filter events recognizes it (fires in at least half of its bug
 hangs).  Paper: context-switches 18/23, task-clock 12/23, page-faults
 12/23, union 23/23.
+
+The fleet study decomposes at *app* granularity: each app's simulated
+deployment depends only on (device, root seed, app), thanks to the
+per-app seed derivation of :func:`fleet_app_seed`.  ``table5`` shards
+the corpus across worker processes (``workers=N``) through
+:func:`repro.parallel.parallel_map`; shard results are partial
+:class:`Table5Result` objects recombined by :meth:`Table5Result.merge`,
+so the parallel output is bit-identical to the serial one regardless
+of worker count.
 """
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -19,6 +29,7 @@ from repro.analysis.metrics import detected_bug_sites
 from repro.apps.catalog import TABLE5_APPS
 from repro.apps.corpus import build_corpus
 from repro.apps.sessions import SessionGenerator
+from repro.base.rng import substream_seed
 from repro.core.blocking_db import BlockingApiDatabase
 from repro.core.config import HangDoctorConfig
 from repro.core.hang_doctor import HangDoctor
@@ -26,9 +37,24 @@ from repro.detectors.offline import OfflineScanner
 from repro.detectors.runner import run_detector
 from repro.harness.tables import render_table
 from repro.harness.training import validation_bug_cases
+from repro.parallel import chunk_indices, parallel_map, resolve_workers
 from repro.sim.engine import ExecutionEngine
 from repro.sim.pmu import PmuSampler
 from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+
+
+def fleet_app_seed(seed, app_name):
+    """Per-app seed for the fleet study, derived from the root seed.
+
+    Every app must consume its *own* RNG streams: seeding each app's
+    engine and Hang Doctor with the raw root seed would make all 114
+    apps draw identical noise sequences (identical S-Checker sampling
+    error, identical trace jitter), cross-correlating the fleet
+    statistics.  Deriving through the keyed hash also makes an app's
+    run independent of its corpus position, which is what lets shards
+    execute on any worker in any order.
+    """
+    return substream_seed(seed, "fleet", app_name)
 
 
 @dataclass
@@ -67,10 +93,47 @@ class Table5Result:
 
     @property
     def missed_offline_percent(self):
-        """Share of detections missed offline (paper: 68 %)."""
+        """Share of detections missed offline (paper: 68 %).
+
+        NaN when nothing was detected: an empty fleet run has no
+        offline-scanner performance to report, and ``0.0`` would read
+        as "a perfect offline scanner" in the summary line.
+        """
         if not self.total_detected:
-            return 0.0
+            return float("nan")
         return 100.0 * self.total_missed_offline / self.total_detected
+
+    @classmethod
+    def merge(cls, parts):
+        """Recombine partial results from corpus shards.
+
+        Rows concatenate in shard order (shards are contiguous corpus
+        slices, so this restores corpus order); counters sum; runtime
+        blocking-API discoveries deduplicate first-seen-first — each
+        shard grows its own database from the same initial state, so
+        dropping repeats reproduces exactly what one shared database
+        would have recorded serially.
+        """
+        parts = list(parts)
+        rows = []
+        apps_tested = 0
+        clean_flagged = 0
+        seen = set()
+        discoveries = []
+        for part in parts:
+            rows.extend(part.rows)
+            apps_tested += part.apps_tested
+            clean_flagged += part.clean_apps_flagged
+            for name in part.new_blocking_apis:
+                if name not in seen:
+                    seen.add(name)
+                    discoveries.append(name)
+        return cls(
+            rows=rows,
+            apps_tested=apps_tested,
+            clean_apps_flagged=clean_flagged,
+            new_blocking_apis=discoveries,
+        )
 
     def render(self):
         """ASCII rendering of the result."""
@@ -89,9 +152,11 @@ class Table5Result:
             ("App Name", "Category", "Issue", "BD (MO)", "truth"),
             rows, title=f"Table 5 - {self.apps_tested} apps tested",
         )
+        percent = self.missed_offline_percent
+        share = "n/a" if math.isnan(percent) else f"{percent:.0f}%"
         return (
             f"{table}\n"
-            f"{self.missed_offline_percent:.0f}% of detected bugs are "
+            f"{share} of detected bugs are "
             f"missed by the offline scanner; "
             f"{len(self.new_blocking_apis)} new blocking APIs added to "
             f"the database; {self.clean_apps_flagged} clean apps "
@@ -99,55 +164,88 @@ class Table5Result:
         )
 
 
-def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
-           config=None):
-    """Reproduce Table 5's fleet study (scaled-down user base)."""
+def _run_fleet_app(app, device, seed, users, actions_per_user, config,
+                   generator, scanner, blocking_db):
+    """Deploy Hang Doctor on one app of the corpus.
+
+    Returns ``(row, clean_flagged)``: a :class:`Table5Row` for catalog
+    (bug-bearing) apps or ``None`` for generated clean ones, plus 1 if
+    a clean app was wrongly flagged.
+    """
+    app_seed = fleet_app_seed(seed, app.name)
+    engine = ExecutionEngine(device, seed=app_seed)
+    doctor = HangDoctor(
+        app, device, config=config, blocking_db=blocking_db, seed=app_seed
+    )
+    detections = []
+    is_catalog = bool(app.hang_bug_operations())
+    app_users = users if is_catalog else max(1, users // 2)
+    per_user = actions_per_user if is_catalog else actions_per_user // 3
+    for session in generator.fleet_sessions(app, app_users, per_user):
+        executions = engine.run_session(
+            app, session.action_names, gap_ms=1000.0
+        )
+        run = run_detector(doctor, executions, device_id=session.user_id)
+        detections.extend(run.detections)
+    detected_sites = detected_bug_sites(app, detections)
+    if not is_catalog:
+        return None, (1 if detections else 0)
+    offline_sites = scanner.detected_sites(app)
+    missed = [s for s in detected_sites if s not in offline_sites]
+    row = Table5Row(
+        app_name=app.name,
+        category=app.category,
+        downloads=app.downloads,
+        commit=app.commit,
+        issue_id=app.issue_id or 0,
+        bugs_detected=len(detected_sites),
+        missed_offline=len(missed),
+        ground_truth_bugs=len(app.hang_bug_operations()),
+    )
+    return row, 0
+
+
+def _table5_shard(payload):
+    """Run one contiguous slice of the corpus (module-level so the
+    process pool can pickle it); returns a partial :class:`Table5Result`."""
+    (device, seed, users, actions_per_user, corpus_size, config,
+     indices) = payload
+    apps = build_corpus(seed=seed, size=corpus_size)
     generator = SessionGenerator(seed=seed)
     scanner = OfflineScanner()
-    shared_db = BlockingApiDatabase.initial()
+    blocking_db = BlockingApiDatabase.initial()
     rows = []
     clean_flagged = 0
-    apps = build_corpus(seed=seed, size=corpus_size)
-    for app in apps:
-        engine = ExecutionEngine(device, seed=seed)
-        doctor = HangDoctor(
-            app, device, config=config, blocking_db=shared_db, seed=seed
+    for index in indices:
+        row, flagged = _run_fleet_app(
+            apps[index], device, seed, users, actions_per_user, config,
+            generator, scanner, blocking_db,
         )
-        detections = []
-        is_catalog = bool(app.hang_bug_operations())
-        app_users = users if is_catalog else max(1, users // 2)
-        per_user = actions_per_user if is_catalog else actions_per_user // 3
-        for session in generator.fleet_sessions(app, app_users, per_user):
-            executions = engine.run_session(
-                app, session.action_names, gap_ms=1000.0
-            )
-            run = run_detector(doctor, executions, device_id=session.user_id)
-            detections.extend(run.detections)
-        detected_sites = detected_bug_sites(app, detections)
-        if not is_catalog:
-            if detections:
-                clean_flagged += 1
-            continue
-        offline_sites = scanner.detected_sites(app)
-        missed = [s for s in detected_sites if s not in offline_sites]
-        rows.append(
-            Table5Row(
-                app_name=app.name,
-                category=app.category,
-                downloads=app.downloads,
-                commit=app.commit,
-                issue_id=app.issue_id or 0,
-                bugs_detected=len(detected_sites),
-                missed_offline=len(missed),
-                ground_truth_bugs=len(app.hang_bug_operations()),
-            )
-        )
+        if row is not None:
+            rows.append(row)
+        clean_flagged += flagged
     return Table5Result(
         rows=rows,
-        apps_tested=len(apps),
+        apps_tested=len(indices),
         clean_apps_flagged=clean_flagged,
-        new_blocking_apis=shared_db.runtime_discoveries(),
+        new_blocking_apis=blocking_db.runtime_discoveries(),
     )
+
+
+def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
+           config=None, workers=1):
+    """Reproduce Table 5's fleet study (scaled-down user base).
+
+    ``workers`` shards the corpus across processes; any worker count
+    yields byte-identical results (per-app seeds make every app's run
+    independent of corpus position and shard assignment).
+    """
+    shards = [
+        (device, seed, users, actions_per_user, corpus_size, config, indices)
+        for indices in chunk_indices(corpus_size, resolve_workers(workers))
+    ]
+    parts = parallel_map(_table5_shard, shards, workers=workers)
+    return Table5Result.merge(parts)
 
 
 @dataclass
@@ -181,7 +279,11 @@ class Table6Result:
         return sum(row.new_bugs for row in self.rows)
 
     def render(self):
-        """ASCII rendering of the result."""
+        """ASCII rendering of the result.
+
+        A genuine count of zero renders as ``0``; ``-`` is reserved
+        for events the run never measured (absent from ``by_event``).
+        """
         headers = ["App Name", "New Bugs"] + [
             event.replace("context-switches", "ctx-sw") for event in
             self.events
@@ -189,8 +291,10 @@ class Table6Result:
         rows = []
         for row in self.rows:
             cells = [row.app_name, row.new_bugs]
-            cells += [row.by_event.get(event, 0) or "-" for event in
-                      self.events]
+            cells += [
+                row.by_event[event] if event in row.by_event else "-"
+                for event in self.events
+            ]
             rows.append(cells)
         totals = self.totals()
         rows.append(

@@ -9,6 +9,12 @@ cherry-pick:
 * Table 5's bugs-detected / missed-offline totals,
 * Figure 8's Hang Doctor TP/FP ratios vs TI,
 * the S-Checker filter's training recall/prune under refits.
+
+Each seed's measurement is independent of every other seed's, so the
+sweeps shard per seed across worker processes (``workers=N``) through
+:func:`repro.parallel.parallel_map`; single-seed partial results merge
+back via :meth:`StabilityResult.merge` in seed order, keeping the
+output identical to a serial sweep.
 """
 
 from dataclasses import dataclass
@@ -22,6 +28,7 @@ from repro.harness.exp_comparison import figure8
 from repro.harness.exp_fleet import table5
 from repro.harness.exp_filter import training_samples
 from repro.harness.tables import render_table
+from repro.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,25 @@ class StabilityResult:
     #: metric name -> list of per-seed values.
     metrics: Dict[str, List[float]]
     seeds: Tuple[int, ...]
+
+    @classmethod
+    def merge(cls, parts):
+        """Concatenate per-seed partial results in submission order."""
+        parts = list(parts)
+        if not parts:
+            return cls(metrics={}, seeds=())
+        metrics = {name: [] for name in parts[0].metrics}
+        seeds = []
+        for part in parts:
+            if set(part.metrics) != set(metrics):
+                raise ValueError(
+                    f"cannot merge stability results over different "
+                    f"metrics: {sorted(metrics)} vs {sorted(part.metrics)}"
+                )
+            for name in metrics:
+                metrics[name].extend(part.metrics[name])
+            seeds.extend(part.seeds)
+        return cls(metrics=metrics, seeds=tuple(seeds))
 
     def mean(self, metric):
         """Across-seed mean of one metric."""
@@ -60,48 +86,83 @@ class StabilityResult:
         )
 
 
+def _fleet_stability_shard(payload):
+    """Table 5 totals for one seed (module-level for the process pool)."""
+    device, seed, users, actions_per_user, corpus_size = payload
+    result = table5(device, seed=seed, users=users,
+                    actions_per_user=actions_per_user,
+                    corpus_size=corpus_size)
+    return StabilityResult(
+        metrics={
+            "bugs_detected": [float(result.total_detected)],
+            "missed_offline": [float(result.total_missed_offline)],
+            "clean_flagged": [float(result.clean_apps_flagged)],
+        },
+        seeds=(seed,),
+    )
+
+
 def fleet_stability(device, seeds=(3, 7, 13), users=3,
-                    actions_per_user=60):
+                    actions_per_user=60, corpus_size=114, workers=1):
     """Table 5's totals across seeds."""
-    metrics = {"bugs_detected": [], "missed_offline": [],
-               "clean_flagged": []}
-    for seed in seeds:
-        result = table5(device, seed=seed, users=users,
-                        actions_per_user=actions_per_user)
-        metrics["bugs_detected"].append(float(result.total_detected))
-        metrics["missed_offline"].append(float(result.total_missed_offline))
-        metrics["clean_flagged"].append(float(result.clean_apps_flagged))
-    return StabilityResult(metrics=metrics, seeds=tuple(seeds))
+    shards = [
+        (device, seed, users, actions_per_user, corpus_size)
+        for seed in seeds
+    ]
+    return StabilityResult.merge(
+        parallel_map(_fleet_stability_shard, shards, workers=workers)
+    )
+
+
+def _comparison_stability_shard(payload):
+    """Figure 8 averages for one seed (module-level for the pool)."""
+    device, seed, users, actions_per_user = payload
+    result = figure8(device, seed=seed, users=users,
+                     actions_per_user=actions_per_user)
+    tp = result.normalized("tp")["Average"]
+    fp = result.normalized("fp")["Average"]
+    over = result.overheads()["Average"]
+    return StabilityResult(
+        metrics={
+            "hd_tp_ratio": [tp["HD"]],
+            "hd_fp_ratio": [fp["HD"]],
+            "hd_overhead": [over["HD"]],
+            "ti_overhead": [over["TI"]],
+        },
+        seeds=(seed,),
+    )
 
 
 def comparison_stability(device, seeds=(2, 5, 11), users=2,
-                         actions_per_user=50):
+                         actions_per_user=50, workers=1):
     """Figure 8's Hang Doctor averages across seeds."""
-    metrics = {"hd_tp_ratio": [], "hd_fp_ratio": [], "hd_overhead": [],
-               "ti_overhead": []}
-    for seed in seeds:
-        result = figure8(device, seed=seed, users=users,
-                         actions_per_user=actions_per_user)
-        tp = result.normalized("tp")["Average"]
-        fp = result.normalized("fp")["Average"]
-        over = result.overheads()["Average"]
-        metrics["hd_tp_ratio"].append(tp["HD"])
-        metrics["hd_fp_ratio"].append(fp["HD"])
-        metrics["hd_overhead"].append(over["HD"])
-        metrics["ti_overhead"].append(over["TI"])
-    return StabilityResult(metrics=metrics, seeds=tuple(seeds))
+    shards = [(device, seed, users, actions_per_user) for seed in seeds]
+    return StabilityResult.merge(
+        parallel_map(_comparison_stability_shard, shards, workers=workers)
+    )
 
 
-def filter_stability(device, seeds=(7, 21, 42), runs_per_case=8):
+def _filter_stability_shard(payload):
+    """One training realization's filter quality (module-level)."""
+    device, seed, runs_per_case = payload
+    samples = training_samples(device, seed=seed,
+                               runs_per_case=runs_per_case)
+    ranking = [e for e, _ in ranked_events(correlate(samples))]
+    fitted = fit_filter(samples, ranking)
+    tp, fp, fn, tn = fitted.confusion(samples)
+    return StabilityResult(
+        metrics={
+            "recall": [tp / (tp + fn)],
+            "prune": [tn / (tn + fp) if (tn + fp) else 0.0],
+            "events": [float(len(fitted.thresholds))],
+        },
+        seeds=(seed,),
+    )
+
+
+def filter_stability(device, seeds=(7, 21, 42), runs_per_case=8, workers=1):
     """The refitted filter's quality across training realizations."""
-    metrics = {"recall": [], "prune": [], "events": []}
-    for seed in seeds:
-        samples = training_samples(device, seed=seed,
-                                   runs_per_case=runs_per_case)
-        ranking = [e for e, _ in ranked_events(correlate(samples))]
-        fitted = fit_filter(samples, ranking)
-        tp, fp, fn, tn = fitted.confusion(samples)
-        metrics["recall"].append(tp / (tp + fn))
-        metrics["prune"].append(tn / (tn + fp) if (tn + fp) else 0.0)
-        metrics["events"].append(float(len(fitted.thresholds)))
-    return StabilityResult(metrics=metrics, seeds=tuple(seeds))
+    shards = [(device, seed, runs_per_case) for seed in seeds]
+    return StabilityResult.merge(
+        parallel_map(_filter_stability_shard, shards, workers=workers)
+    )

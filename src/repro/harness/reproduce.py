@@ -18,42 +18,50 @@ from repro.harness import (
 )
 
 #: (artifact name, experiment callable) in paper order.  Each callable
-#: takes (device, seed) and returns an object with ``render()``.
+#: takes (device, seed, workers) and returns an object with
+#: ``render()``; only the app-sharded experiments (Table 5, Figure 8)
+#: use the worker count — for every experiment the output is
+#: identical regardless of it.
 EXPERIMENTS = (
-    ("figure1", lambda device, seed: exp_motivation.figure1(
+    ("figure1", lambda device, seed, workers=1: exp_motivation.figure1(
         device, seed=seed)),
-    ("table2", lambda device, seed: exp_motivation.table2(
+    ("table2", lambda device, seed, workers=1: exp_motivation.table2(
         device, seed=seed)),
-    ("table3", lambda device, seed: exp_filter.table3(device, seed=seed)),
-    ("table4", lambda device, seed: exp_filter.table4(device, seed=seed)),
-    ("figure4", lambda device, seed: exp_filter.figure4(device, seed=seed)),
-    ("figure5", lambda device, seed: exp_filter.figure5(device, seed=seed)),
-    ("figure6", lambda device, seed: exp_casestudy.figure6(
+    ("table3", lambda device, seed, workers=1: exp_filter.table3(
+        device, seed=seed)),
+    ("table4", lambda device, seed, workers=1: exp_filter.table4(
+        device, seed=seed)),
+    ("figure4", lambda device, seed, workers=1: exp_filter.figure4(
+        device, seed=seed)),
+    ("figure5", lambda device, seed, workers=1: exp_filter.figure5(
+        device, seed=seed)),
+    ("figure6", lambda device, seed, workers=1: exp_casestudy.figure6(
         device, seed=3 if seed == 0 else seed)),
-    ("figure7", lambda device, seed: exp_casestudy.figure7(
+    ("figure7", lambda device, seed, workers=1: exp_casestudy.figure7(
         device, seed=1 if seed == 0 else seed)),
-    ("table5", lambda device, seed: exp_fleet.table5(
+    ("table5", lambda device, seed, workers=1: exp_fleet.table5(
         device, seed=7 if seed == 0 else seed, users=5,
-        actions_per_user=80)),
-    ("table6", lambda device, seed: exp_fleet.table6(
+        actions_per_user=80, workers=workers)),
+    ("table6", lambda device, seed, workers=1: exp_fleet.table6(
         device, seed=11 if seed == 0 else seed)),
-    ("figure8", lambda device, seed: exp_comparison.figure8(
-        device, seed=2 if seed == 0 else seed)),
+    ("figure8", lambda device, seed, workers=1: exp_comparison.figure8(
+        device, seed=2 if seed == 0 else seed, workers=workers)),
 )
 
 
-def generate_all(device, out_dir, seed=0, progress=None):
+def generate_all(device, out_dir, seed=0, progress=None, workers=1):
     """Run every experiment; write ``<name>.txt`` files to *out_dir*.
 
     *progress(name, seconds)* is called after each experiment.
-    Returns {name: rendered text}.
+    *workers* shards the fleet-scale experiments across processes
+    without changing any output.  Returns {name: rendered text}.
     """
     out_path = pathlib.Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
     rendered = {}
     for name, runner in EXPERIMENTS:
         started = time.perf_counter()
-        result = runner(device, seed)
+        result = runner(device, seed, workers)
         text = result.render()
         (out_path / f"{name}.txt").write_text(text + "\n")
         rendered[name] = text

@@ -1,0 +1,28 @@
+"""Process-parallel experiment execution.
+
+The fleet-scale experiments (Table 5's 114-app study, Figure 8's
+detector comparison, the seed-stability sweeps) decompose naturally at
+*app* granularity: after the per-app seed derivation of
+:func:`repro.harness.exp_fleet.fleet_app_seed`, every app's simulated
+deployment is a pure function of (device, root seed, app), so shards
+can run on any worker in any order and merge back into the exact
+result a serial run produces.
+
+:func:`parallel_map` is the one primitive: an ordered map over work
+items that shards across a :class:`concurrent.futures.
+ProcessPoolExecutor` and degrades gracefully to in-process execution
+when ``workers=1``, when the work is too small to shard, or when the
+payload cannot cross a process boundary (non-picklable configs).
+"""
+
+from repro.parallel.executor import (
+    chunk_indices,
+    parallel_map,
+    resolve_workers,
+)
+
+__all__ = [
+    "chunk_indices",
+    "parallel_map",
+    "resolve_workers",
+]

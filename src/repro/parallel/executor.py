@@ -1,0 +1,101 @@
+"""The worker-pool primitive behind every ``--workers`` flag.
+
+Experiments submit *shards* — small picklable descriptions of a slice
+of work — to :func:`parallel_map` together with a module-level shard
+function.  Results come back in submission order, so callers can merge
+them deterministically regardless of which worker finished first.
+
+Fallback policy: correctness never depends on the pool.  Anything that
+prevents process-level execution (a single worker, one-item inputs, a
+payload that cannot be pickled, a sandbox that forbids subprocesses, a
+pool whose workers died) silently downgrades to a plain in-process
+loop over the same shard function, which by construction yields the
+identical result.  Exceptions raised *by the shard function itself*
+are real errors and always propagate.
+"""
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+
+def resolve_workers(workers):
+    """Normalize a ``--workers`` value to a positive int.
+
+    ``None`` and ``0`` mean "one worker per CPU"; negative counts are
+    rejected.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def chunk_indices(count, chunks):
+    """Split ``range(count)`` into at most *chunks* contiguous runs.
+
+    Chunks are as even as possible (sizes differ by at most one) and
+    concatenate back to ``range(count)``, so order-sensitive merges
+    stay trivial.
+
+    >>> chunk_indices(5, 2)
+    [(0, 1, 2), (3, 4)]
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    chunks = max(1, min(chunks, count)) if count else 0
+    out = []
+    start = 0
+    for position in range(chunks):
+        size = count // chunks + (1 if position < count % chunks else 0)
+        out.append(tuple(range(start, start + size)))
+        start += size
+    return out
+
+
+def _picklable(payload):
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        return False
+
+
+def parallel_map(fn, items, workers=1, chunksize=1):
+    """Ordered ``[fn(item) for item in items]`` over a process pool.
+
+    *fn* must be a module-level callable for process execution; the
+    in-process fallback has no such restriction.  Worker exceptions
+    propagate to the caller; infrastructure failures (pickling, pool
+    breakage, subprocess limits) fall back to the serial loop.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if not _picklable((fn, items)):
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (BrokenProcessPool, OSError, PermissionError, RuntimeError) as error:
+        if isinstance(error, RuntimeError) and not _is_pool_startup_error(error):
+            raise
+        return [fn(item) for item in items]
+
+
+def _is_pool_startup_error(error):
+    """True for RuntimeErrors raised by pool startup, not by the task.
+
+    ``multiprocessing`` signals missing OS support (no semaphores, no
+    forking) via RuntimeError; those should downgrade, while a
+    RuntimeError raised inside the shard function must surface.
+    """
+    text = str(error).lower()
+    return any(
+        marker in text
+        for marker in ("process", "fork", "spawn", "semaphore", "synchroniz")
+    )

@@ -96,12 +96,49 @@ _KIND_IPC = {
 #: Milliseconds of CPU per nanosecond-unit of the task-clock counter.
 NS_PER_MS = 1e6
 
+#: Kernel events whose values require the scheduler switch model.
+_SWITCH_EVENTS = frozenset({"context-switches", "cpu-migrations"})
+
+#: Kernel events whose values require the page-fault model.
+_FAULT_EVENTS = frozenset({"page-faults", "minor-faults", "major-faults"})
+
+#: Kernel events derived from the segment's CPU time.
+_CLOCK_EVENTS = frozenset({"task-clock", "cpu-clock"})
+
 
 class CounterModel:
-    """Generates per-segment counts for all 46 events."""
+    """Generates per-segment counts for the 46 events — or, in lazy
+    mode, for just a requested subset.
 
-    def __init__(self, device):
+    *events* restricts the model to the named events: the 9 kernel
+    software events are cheap closed forms (a handful of scheduler and
+    memory draws) and are always computed, while the block of 37 PMU
+    hardware events — one lognormal draw per event — is skipped
+    entirely unless at least one PMU event is requested.  This is the
+    fleet-scale fast path: S-Checker's filter only ever reads
+    :data:`FILTER_EVENTS` (three kernel events), so a filter-only model
+    does an order-of-magnitude fewer RNG draws per segment.
+
+    Lazy mode advances the per-action RNG stream differently from the
+    full model (the skipped PMU draws never happen), so it is a
+    *distinct* deterministic universe: reproducible for a given (seed,
+    event set), but not sample-identical to ``events=None`` runs.
+    """
+
+    def __init__(self, device, events=None):
         self.device = device
+        if events is None:
+            self.events = None
+            self._want = None
+            self._wants_pmu = True
+        else:
+            events = tuple(events)
+            unknown = [e for e in events if e not in ALL_EVENTS]
+            if unknown:
+                raise ValueError(f"unknown performance events: {unknown}")
+            self.events = events
+            self._want = frozenset(events)
+            self._wants_pmu = not self._want.isdisjoint(PMU_EVENTS)
 
     def segment_counts(self, *, kind, thread, wall_ms, cpu_ms, pages, uarch, rng,
                        wait_chunk_override=None, dvfs=None):
@@ -116,7 +153,8 @@ class CounterModel:
         uarch: per-API multipliers from :meth:`ApiSpec.uarch_profile`.
         rng: numpy Generator (one per action execution).
 
-        Returns a dict over :data:`ALL_EVENTS`.
+        Returns a dict over :data:`ALL_EVENTS`, or over the configured
+        subset when the model was built with an *events* restriction.
         """
         device = self.device
         cpu_ms = max(0.0, min(cpu_ms, wall_ms))
@@ -127,24 +165,38 @@ class CounterModel:
             return float(value * rng.lognormal(mean=0.0, sigma=sigma))
 
         counts = {}
+        want = self._want
 
         # --- kernel software events (OS-scheduling driven) ---
-        switches = scheduler.segment_switches(
-            kind, thread, wall_ms, cpu_ms, device, rng,
-            chunk_override=wait_chunk_override,
-        )
-        faults = memory.segment_faults(kind, pages, rng)
-        counts["context-switches"] = float(switches.total)
-        counts["cpu-migrations"] = float(
-            scheduler.cpu_migrations(switches, device, rng)
-        )
-        counts["page-faults"] = float(faults.total)
-        counts["minor-faults"] = float(faults.minor)
-        counts["major-faults"] = float(faults.major)
-        counts["task-clock"] = noisy(cpu_ms * NS_PER_MS, 0.02)
-        counts["cpu-clock"] = noisy(counts["task-clock"], 0.01)
+        # In full mode every guard is true and the draw sequence is
+        # exactly the historical one (switches, faults, migrations,
+        # clocks); a lazy model draws only for the events it was asked
+        # for.
+        switches = None
+        if want is None or not want.isdisjoint(_SWITCH_EVENTS):
+            switches = scheduler.segment_switches(
+                kind, thread, wall_ms, cpu_ms, device, rng,
+                chunk_override=wait_chunk_override,
+            )
+            counts["context-switches"] = float(switches.total)
+        if want is None or not want.isdisjoint(_FAULT_EVENTS):
+            faults = memory.segment_faults(kind, pages, rng)
+            counts["page-faults"] = float(faults.total)
+            counts["minor-faults"] = float(faults.minor)
+            counts["major-faults"] = float(faults.major)
+        if switches is not None and (want is None or "cpu-migrations" in want):
+            counts["cpu-migrations"] = float(
+                scheduler.cpu_migrations(switches, device, rng)
+            )
+        if want is None or not want.isdisjoint(_CLOCK_EVENTS):
+            counts["task-clock"] = noisy(cpu_ms * NS_PER_MS, 0.02)
+            if want is None or "cpu-clock" in want:
+                counts["cpu-clock"] = noisy(counts["task-clock"], 0.01)
         counts["alignment-faults"] = 0.0
         counts["emulation-faults"] = 0.0
+
+        if not self._wants_pmu:
+            return {event: counts[event] for event in self.events}
 
         # --- PMU events (code-specific via per-API uarch profile) ---
         # DVFS: the governor varies clock frequency, so cycle-derived
@@ -218,4 +270,6 @@ class CounterModel:
         counts["raw-mem-access"] = noisy(l1d_loads + l1d_stores, 0.03)
         counts["raw-bus-access"] = noisy(counts["cache-misses"] * 1.1, 0.08)
         counts["raw-bus-cycles"] = noisy(cycles * 0.4, 0.05)
+        if self.events is not None:
+            return {event: counts[event] for event in self.events}
         return counts

@@ -175,7 +175,8 @@ class ExecutionEngine:
     vary while the whole experiment stays reproducible.
     """
 
-    def __init__(self, device, seed=0, environment="wild"):
+    def __init__(self, device, seed=0, environment="wild",
+                 counter_events=None):
         if environment not in ("wild", "lab"):
             raise ValueError(f"unknown environment {environment!r}")
         self.device = device
@@ -184,7 +185,14 @@ class ExecutionEngine:
         #: synthetic inputs, where content-dependent bugs rarely
         #: manifest -- the paper's §4.6 discussion).
         self.environment = environment
-        self.counter_model = CounterModel(device)
+        #: Restricting *counter_events* (e.g. to
+        #: :data:`repro.sim.counters.FILTER_EVENTS`) puts the counter
+        #: model in lazy mode: segments carry only the requested
+        #: events, and the 37-event PMU block is skipped unless asked
+        #: for — the fast path for fleet-scale runs where only the
+        #: S-Checker filter reads counters.  Timeline queries for
+        #: unrequested events read as zero.
+        self.counter_model = CounterModel(device, events=counter_events)
         self._execution_index = 0
 
     def run_action(self, app, action, start_ms=0.0, rng=None, looper=None):

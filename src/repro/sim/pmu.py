@@ -34,8 +34,21 @@ class PmuSampler:
         self.device = device
         self.events = tuple(events)
         self.seed = seed
-        self._pmu_count = sum(1 for e in events if e in PMU_EVENTS)
+        self._kernel = frozenset(e for e in self.events if e in KERNEL_EVENTS)
+        self._event_set = frozenset(self.events)
+        self._pmu_count = len(self.events) - len(self._kernel)
         self._reads = 0
+
+    @property
+    def kernel_only(self):
+        """True when every counted event is a kernel software event.
+
+        Kernel-only samplers pair with a lazily-restricted
+        :class:`~repro.sim.counters.CounterModel`: readings are exact
+        (no multiplexing) and no noise streams are ever created — the
+        configuration Hang Doctor's three-event filter runs in.
+        """
+        return self._pmu_count == 0
 
     @property
     def multiplex_factor(self):
@@ -46,10 +59,10 @@ class PmuSampler:
 
     def read(self, timeline, thread, event, start_ms=None, end_ms=None):
         """Estimated total of *event* on *thread* over a window."""
-        if event not in self.events:
+        if event not in self._event_set:
             raise KeyError(f"event {event!r} is not being counted")
         true_value = timeline.total(thread, event, start_ms, end_ms)
-        if event in KERNEL_EVENTS:
+        if event in self._kernel:
             return true_value
         factor = self.multiplex_factor
         if factor <= 1.0 or true_value == 0.0:

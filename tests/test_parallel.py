@@ -1,0 +1,214 @@
+"""The parallel experiment runner and its equivalence guarantees.
+
+Covers the executor primitive itself, the per-app seed derivation of
+the fleet study, the explicit merge paths on experiment results, and
+the headline guarantee: sharding an experiment across worker
+processes changes nothing about its output.
+"""
+
+import math
+
+import pytest
+
+from repro.detectors.base import MonitoringCost
+from repro.detectors.runner import DetectorRun
+from repro.harness.exp_comparison import (
+    Figure8Result,
+    figure8,
+    fit_utilization_thresholds,
+)
+from repro.harness.exp_fleet import (
+    Table5Result,
+    Table5Row,
+    fleet_app_seed,
+    table5,
+)
+from repro.harness.exp_stability import StabilityResult, fleet_stability
+from repro.parallel import chunk_indices, parallel_map, resolve_workers
+from repro.sim.engine import ExecutionEngine
+
+
+# ---------------------------------------------------------------- executor
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def test_resolve_workers_defaults_to_cpu_count():
+    assert resolve_workers(None) >= 1
+    assert resolve_workers(0) == resolve_workers(None)
+    assert resolve_workers(3) == 3
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_chunk_indices_partitions_range():
+    for count in (0, 1, 5, 7, 114):
+        for chunks in (1, 2, 4, 13):
+            parts = chunk_indices(count, chunks)
+            flat = [i for part in parts for i in part]
+            assert flat == list(range(count))
+            if count:
+                sizes = [len(part) for part in parts]
+                assert max(sizes) - min(sizes) <= 1
+                assert len(parts) == min(chunks, count)
+            else:
+                assert parts == []
+
+
+def test_parallel_map_preserves_order():
+    items = list(range(20))
+    expected = [_square(i) for i in items]
+    assert parallel_map(_square, items, workers=1) == expected
+    assert parallel_map(_square, items, workers=4) == expected
+
+
+def test_parallel_map_falls_back_on_unpicklable_work():
+    closure = lambda x: x + 1  # noqa: E731 - deliberately not module-level
+    assert parallel_map(closure, [1, 2, 3], workers=4) == [2, 3, 4]
+
+
+def test_parallel_map_propagates_task_errors():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_boom, [1, 2], workers=1)
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_boom, [1, 2], workers=2)
+
+
+# ------------------------------------------------------- per-app seeding
+
+
+def test_fleet_app_seed_distinct_per_app_and_root():
+    assert fleet_app_seed(0, "K9-mail") != fleet_app_seed(0, "AndStatus")
+    assert fleet_app_seed(0, "K9-mail") != fleet_app_seed(1, "K9-mail")
+    assert fleet_app_seed(3, "GenApp-001") == fleet_app_seed(3, "GenApp-001")
+
+
+def test_distinct_apps_draw_distinct_noise(device, k9):
+    """Regression: the fleet once seeded every app's engine with the
+    same root seed, cross-correlating all 114 apps' RNG streams."""
+    action = k9.actions[0]
+    engine_a = ExecutionEngine(device, seed=fleet_app_seed(0, "K9-mail"))
+    engine_b = ExecutionEngine(device, seed=fleet_app_seed(0, "AndStatus"))
+    times_a = [engine_a.run_action(k9, action).response_time_ms
+               for _ in range(5)]
+    times_b = [engine_b.run_action(k9, action).response_time_ms
+               for _ in range(5)]
+    assert times_a != times_b
+
+
+# ------------------------------------------------------------ merge paths
+
+
+def _t5_row(name, detected=1, missed=0):
+    return Table5Row(
+        app_name=name, category="Tools", downloads=10, commit="abc",
+        issue_id=1, bugs_detected=detected, missed_offline=missed,
+        ground_truth_bugs=detected,
+    )
+
+
+def test_table5_merge_concatenates_and_dedupes_discoveries():
+    part_a = Table5Result(
+        rows=[_t5_row("A")], apps_tested=2, clean_apps_flagged=0,
+        new_blocking_apis=["x.y.Z", "p.q.R"],
+    )
+    part_b = Table5Result(
+        rows=[_t5_row("B")], apps_tested=3, clean_apps_flagged=1,
+        new_blocking_apis=["p.q.R", "m.n.O"],
+    )
+    merged = Table5Result.merge([part_a, part_b])
+    assert [row.app_name for row in merged.rows] == ["A", "B"]
+    assert merged.apps_tested == 5
+    assert merged.clean_apps_flagged == 1
+    assert merged.new_blocking_apis == ["x.y.Z", "p.q.R", "m.n.O"]
+
+
+def test_table5_missed_offline_percent_nan_when_empty():
+    empty = Table5Result(rows=[], apps_tested=4, clean_apps_flagged=0,
+                         new_blocking_apis=[])
+    assert math.isnan(empty.missed_offline_percent)
+    assert "n/a of detected bugs" in empty.render()
+
+
+def test_detector_run_merge_sums_costs_in_order():
+    run_a = DetectorRun(detector_name="HD", executions=["e1"],
+                        outcomes=["o1"],
+                        cost=MonitoringCost(rt_events=2, trace_samples=5))
+    run_b = DetectorRun(detector_name="HD", executions=["e2"],
+                        outcomes=["o2"],
+                        cost=MonitoringCost(rt_events=3, analyses=1))
+    merged = DetectorRun.merge([run_a, run_b])
+    assert merged.executions == ["e1", "e2"]
+    assert merged.outcomes == ["o1", "o2"]
+    assert merged.cost.rt_events == 5
+    assert merged.cost.trace_samples == 5
+    assert merged.cost.analyses == 1
+    with pytest.raises(ValueError):
+        DetectorRun.merge([run_a, DetectorRun(detector_name="TI")])
+    with pytest.raises(ValueError):
+        DetectorRun.merge([])
+
+
+def test_stability_merge_concatenates_seed_order():
+    part_a = StabilityResult(metrics={"m": [1.0]}, seeds=(3,))
+    part_b = StabilityResult(metrics={"m": [2.0]}, seeds=(7,))
+    merged = StabilityResult.merge([part_a, part_b])
+    assert merged.metrics == {"m": [1.0, 2.0]}
+    assert merged.seeds == (3, 7)
+    with pytest.raises(ValueError):
+        StabilityResult.merge(
+            [part_a, StabilityResult(metrics={"other": [1.0]}, seeds=(5,))]
+        )
+    assert StabilityResult.merge([]).seeds == ()
+
+
+def test_figure8_merge_concatenates_apps():
+    part = Figure8Result(apps=["a", "b"])
+    merged = Figure8Result.merge([part, Figure8Result(apps=["c"])])
+    assert merged.apps == ["a", "b", "c"]
+
+
+# -------------------------------------------- parallel-equals-serial
+
+
+@pytest.fixture(scope="module")
+def small_fleet_serial(device):
+    return table5(device, seed=0, users=1, actions_per_user=10,
+                  corpus_size=22, workers=1)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_table5_parallel_equals_serial(device, small_fleet_serial, workers):
+    parallel = table5(device, seed=0, users=1, actions_per_user=10,
+                      corpus_size=22, workers=workers)
+    assert parallel.render() == small_fleet_serial.render()
+
+
+def test_table5_repeated_runs_deterministic(device, small_fleet_serial):
+    again = table5(device, seed=0, users=1, actions_per_user=10,
+                   corpus_size=22, workers=1)
+    assert again.render() == small_fleet_serial.render()
+
+
+def test_figure8_parallel_equals_serial(device):
+    thresholds = fit_utilization_thresholds(device, seed=5, runs_per_case=2)
+    kwargs = dict(seed=5, users=1, actions_per_user=8,
+                  app_names=("K9-mail", "AndStatus"), thresholds=thresholds)
+    serial = figure8(device, workers=1, **kwargs)
+    parallel = figure8(device, workers=2, **kwargs)
+    assert parallel.render() == serial.render()
+
+
+def test_fleet_stability_parallel_equals_serial(device):
+    kwargs = dict(seeds=(1, 2), users=1, actions_per_user=8,
+                  corpus_size=22)
+    serial = fleet_stability(device, workers=1, **kwargs)
+    parallel = fleet_stability(device, workers=2, **kwargs)
+    assert parallel.render() == serial.render()
+    assert parallel.seeds == (1, 2)
