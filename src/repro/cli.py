@@ -10,6 +10,7 @@ runs Hang Doctor over the synthetic fleet from a shell:
 * ``compare`` — the Figure 8 detector comparison
 * ``filter`` — the correlation/threshold design pipeline (Tables 3-4)
 * ``testbed`` — lab-vs-wild bug coverage (§4.6)
+* ``chaos`` — detection quality under injected monitoring faults
 """
 
 import argparse
@@ -99,6 +100,24 @@ def cmd_compare(args):
     result = figure8(_device(args.device), seed=args.seed,
                      users=args.users, actions_per_user=args.actions,
                      workers=args.workers)
+    print(result.render())
+
+
+def cmd_chaos(args):
+    """Run the chaos sweep: fault rates vs detection quality."""
+    from repro.harness.exp_chaos import chaos_sweep
+
+    if args.quick:
+        rates = (0.0, 0.2)
+        apps = ("K9-mail", "AndStatus")
+        users, actions = 1, 12
+    else:
+        rates = tuple(float(r) for r in args.rates.split(","))
+        apps = tuple(args.apps.split(",")) if args.apps else None
+        users, actions = args.users, args.actions
+    result = chaos_sweep(_device(args.device), seed=args.seed, rates=rates,
+                         apps=apps, users=users, actions_per_user=actions,
+                         workers=args.workers)
     print(result.render())
 
 
@@ -201,6 +220,27 @@ def build_parser():
     compare.add_argument("--workers", type=_workers, default=1,
                          help=workers_help)
     compare.set_defaults(func=cmd_compare)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep injected monitoring-fault rates (degradation curves)",
+    )
+    chaos.add_argument("--rates", default="0,0.02,0.05,0.1,0.2,0.4",
+                       help="comma-separated fault rates to sweep")
+    chaos.add_argument("--apps", default=None,
+                       help="comma-separated catalog app names "
+                            "(default: the Figure 8 apps)")
+    chaos.add_argument("--users", type=int, default=2)
+    chaos.add_argument("--actions", type=int, default=40)
+    chaos.add_argument("--quick", action="store_true",
+                       help="small fixed preset (2 apps, 2 rates) for "
+                            "CI determinism smoke")
+    chaos.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="root seed (also accepted before the "
+                            "subcommand)")
+    chaos.add_argument("--workers", type=_workers, default=1,
+                       help=workers_help)
+    chaos.set_defaults(func=cmd_chaos)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
     filt.set_defaults(func=cmd_filter)

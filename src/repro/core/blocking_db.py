@@ -18,6 +18,9 @@ class BlockingApiDatabase:
     def __init__(self, names=None):
         self._names = set(names) if names is not None else set()
         self._added_at_runtime = []
+        #: True when this database was rebuilt from the shipped initial
+        #: list because the persisted copy was corrupt.
+        self.recovered_from_corruption = False
 
     @classmethod
     def initial(cls):

@@ -64,6 +64,16 @@ class HangDoctorConfig:
     #: None disables the extension (the paper's default — network APIs
     #: are well-known blocking and usually caught offline).
     network_threshold_bytes: float = None
+    #: Retries after a transient counter-read failure (bounded: each
+    #: retry is another syscall charged to the overhead model).
+    counter_read_retries: int = 2
+    #: Consecutive failed counter reads (retries exhausted) after which
+    #: Hang Doctor degrades to timeout-only mode: S-Checker is
+    #: bypassed and Uncategorized hangs go straight to Suspicious.
+    counter_failure_degrade_after: int = 3
+    #: Consecutive refused trace collections after which the Diagnoser
+    #: quarantines an action (stops paying for trace attempts on it).
+    trace_failure_quarantine: int = 3
 
     def filter_events(self):
         """The performance events the filter reads, in filter order."""
@@ -81,4 +91,10 @@ class HangDoctorConfig:
             raise ValueError("trace_period_ms must be positive")
         if not 0.0 < self.occurrence_threshold <= 1.0:
             raise ValueError("occurrence_threshold must be in (0, 1]")
+        if self.counter_read_retries < 0:
+            raise ValueError("counter_read_retries must be >= 0")
+        if self.counter_failure_degrade_after < 1:
+            raise ValueError("counter_failure_degrade_after must be >= 1")
+        if self.trace_failure_quarantine < 1:
+            raise ValueError("trace_failure_quarantine must be >= 1")
         return self

@@ -5,6 +5,15 @@ execution violates the 100 ms timeout again, stack traces are
 collected until the end of each soft hang and analyzed for the root
 cause; otherwise the action is left Suspicious so the next hang can be
 caught (occasional bugs).
+
+Degradation policy: when the substrate refuses a collection window
+(an injected :class:`~repro.faults.TraceCollectionError`), the hang is
+skipped and the failure counted instead of crashing the app.  An
+action whose collections keep failing consecutively is *quarantined* —
+the Diagnoser stops paying for trace attempts on it entirely — because
+on a device whose sampler is broken for that action, retrying every
+hang would burn overhead for no evidence.  One traced hang resets the
+action's failure streak.
 """
 
 from dataclasses import dataclass
@@ -12,6 +21,7 @@ from typing import Tuple
 
 from repro.core.trace_analyzer import Diagnosis, TraceAnalyzer
 from repro.core.trace_collector import TraceCollector
+from repro.faults import TraceCollectionError
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,11 @@ class DiagnoserResult:
     hang_diagnoses: Tuple[HangDiagnosis, ...]
     #: Stack-trace samples collected (overhead accounting).
     samples: int
+    #: Collection windows the substrate refused on this execution.
+    trace_failures: int = 0
+    #: The action is quarantined (collections kept failing); no trace
+    #: attempts were or will be made for it.
+    quarantined: bool = False
 
     @property
     def diagnosed(self):
@@ -58,13 +73,26 @@ class DiagnoserResult:
 class Diagnoser:
     """Second-phase deep analysis."""
 
-    def __init__(self, config, app_package=None):
+    def __init__(self, config, app_package=None, faults=None):
         self.config = config
-        self.collector = TraceCollector(period_ms=config.trace_period_ms)
+        self.collector = TraceCollector(
+            period_ms=config.trace_period_ms, faults=faults
+        )
         self.analyzer = TraceAnalyzer(
             occurrence_threshold=config.occurrence_threshold,
             app_package=app_package,
         )
+        #: Consecutive failed collections per action name.
+        self._failure_streak = {}
+        self._quarantined = set()
+
+    def is_quarantined(self, action_name):
+        """True when trace collection is suspended for *action_name*."""
+        return action_name in self._quarantined
+
+    def quarantined_actions(self):
+        """Names of quarantined actions, sorted."""
+        return sorted(self._quarantined)
 
     def diagnose(self, execution):
         """Trace and analyze every soft hang in *execution*.
@@ -72,14 +100,34 @@ class Diagnoser:
         Returns a :class:`DiagnoserResult`; ``hang_diagnoses`` is empty
         when the timeout was not violated (no data is collected in that
         case, and the caller should leave the action Suspicious).
+        Collection refusals never propagate: they are counted in
+        ``trace_failures``, and after
+        ``config.trace_failure_quarantine`` consecutive failures the
+        action is quarantined.
         """
+        action_name = execution.action.name
+        if action_name in self._quarantined:
+            return DiagnoserResult(
+                hang_diagnoses=(), samples=0, quarantined=True
+            )
         before = self.collector.samples_collected
         diagnoses = []
+        failures = 0
         for event_execution in execution.events:
             rt = event_execution.response_time_ms
             if rt <= self.config.perceivable_delay_ms:
                 continue
-            traces = self.collector.collect(execution, event_execution)
+            try:
+                traces = self.collector.collect(execution, event_execution)
+            except TraceCollectionError:
+                failures += 1
+                streak = self._failure_streak.get(action_name, 0) + 1
+                self._failure_streak[action_name] = streak
+                if streak >= self.config.trace_failure_quarantine:
+                    self._quarantined.add(action_name)
+                    break
+                continue
+            self._failure_streak[action_name] = 0
             diagnoses.append(
                 HangDiagnosis(
                     event_name=event_execution.spec.name,
@@ -90,4 +138,9 @@ class Diagnoser:
                 )
             )
         samples = self.collector.samples_collected - before
-        return DiagnoserResult(hang_diagnoses=tuple(diagnoses), samples=samples)
+        return DiagnoserResult(
+            hang_diagnoses=tuple(diagnoses),
+            samples=samples,
+            trace_failures=failures,
+            quarantined=action_name in self._quarantined,
+        )

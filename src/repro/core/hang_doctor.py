@@ -15,6 +15,19 @@ machine:
 
 HangDoctor implements the common :class:`~repro.detectors.base.Detector`
 interface so it can be compared head-to-head with the baselines.
+
+Graceful degradation: the monitoring substrate is allowed to fail
+(see :mod:`repro.faults`) without ever failing the app.  Transient
+counter-read errors get a bounded retry; after
+``config.counter_failure_degrade_after`` consecutive reads that still
+failed, Hang Doctor degrades to **timeout-only mode** — S-Checker is
+bypassed and every Uncategorized hang goes straight to Suspicious,
+trading the filter's false-positive pruning for survival.  Refused
+trace collections are absorbed by the Diagnoser, which quarantines an
+action after repeated failures.  Every degradation is recorded in the
+:class:`~repro.detectors.base.MonitoringCost` of the execution and in
+the Hang Bug Report; no injected fault ever raises out of
+:meth:`process`.
 """
 
 from repro.core.blocking_db import BlockingApiDatabase
@@ -25,6 +38,12 @@ from repro.core.report import HangBugReport
 from repro.core.schecker import SChecker
 from repro.core.states import ActionState, ActionStateMachine
 from repro.detectors.base import ActionOutcome, Detection, Detector
+from repro.faults import (
+    CounterUnavailableError,
+    FaultInjector,
+    FaultPlan,
+    TransientCounterError,
+)
 
 
 class HangDoctor(Detector):
@@ -32,7 +51,8 @@ class HangDoctor(Detector):
 
     name = "HD"
 
-    def __init__(self, app, device, config=None, blocking_db=None, seed=0):
+    def __init__(self, app, device, config=None, blocking_db=None, seed=0,
+                 faults=None):
         self.app = app
         self.device = device
         self.config = (config or HangDoctorConfig()).validate()
@@ -40,15 +60,24 @@ class HangDoctor(Detector):
             blocking_db if blocking_db is not None
             else BlockingApiDatabase.initial()
         )
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, seed=seed, scope=(app.name,))
+        self.faults = faults
         self.injector = AppInjector(app)
         self.machine = ActionStateMachine(
             reset_period=self.config.normal_reset_period
         )
         for row in self.injector.rows():
             self.machine.register(row.uid)
-        self.schecker = SChecker(self.config, device, seed=seed)
-        self.diagnoser = Diagnoser(self.config, app_package=app.package)
+        self.schecker = SChecker(self.config, device, seed=seed,
+                                 faults=faults)
+        self.diagnoser = Diagnoser(self.config, app_package=app.package,
+                                   faults=faults)
         self.report = HangBugReport(app.name)
+        #: True once counters died and only the timeout remains.
+        self.degraded = False
+        self._consecutive_counter_failures = 0
+        self._quarantines_reported = set()
 
     # ------------------------------------------------------------------
 
@@ -57,7 +86,12 @@ class HangDoctor(Detector):
         return self.machine.state(self.injector.uid_of(action_name))
 
     def process(self, execution, device_id=0):
-        """Observe one action execution and run the two-phase algorithm."""
+        """Observe one action execution and run the two-phase algorithm.
+
+        Never raises on injected monitoring faults: failures degrade
+        the monitoring (recorded in the outcome's cost and the report)
+        while the state machine keeps running on what evidence remains.
+        """
         if execution.app.package != self.app.package:
             raise ValueError(
                 f"execution belongs to {execution.app.package!r}; this "
@@ -81,12 +115,29 @@ class HangDoctor(Detector):
 
     def _phase_one(self, uid, execution, hang, outcome):
         """S-Checker: counters were on for this Uncategorized action."""
+        if self.degraded:
+            # Timeout-only mode: the counters are gone, so the filter
+            # cannot prune UI work; every hang goes to the Diagnoser.
+            if hang:
+                self.machine.transition(
+                    uid, ActionState.SUSPICIOUS, "timeout-only",
+                    time_ms=execution.end_ms,
+                )
+            return
         outcome.cost.counter_window_ms = execution.end_ms - execution.start_ms
         if not hang:
             # No soft hang: leave Uncategorized, monitor again next time.
             return
-        check = self.schecker.check(execution)
-        outcome.cost.counter_reads = 1
+        check = self._checked_with_retry(execution, outcome)
+        if check is None:
+            # The read ultimately failed.  Without counter evidence the
+            # hang cannot be ruled UI work, so fail conservative: hand
+            # it to the Diagnoser rather than miss a bug.
+            self.machine.transition(
+                uid, ActionState.SUSPICIOUS, "S-Checker (read failed)",
+                time_ms=execution.end_ms,
+            )
+            return
         if check.symptomatic:
             self.machine.transition(
                 uid, ActionState.SUSPICIOUS, "S-Checker",
@@ -96,6 +147,47 @@ class HangDoctor(Detector):
             self.machine.transition(
                 uid, ActionState.NORMAL, "S-Checker", time_ms=execution.end_ms
             )
+
+    def _checked_with_retry(self, execution, outcome):
+        """One S-Checker evaluation with bounded retry.
+
+        Returns the SymptomCheck, or None when every attempt failed.
+        Each attempt (including failures) is a real syscall charged to
+        ``counter_reads``; a permanent failure stops retrying early.
+        """
+        attempts = 1 + self.config.counter_read_retries
+        for _ in range(attempts):
+            try:
+                check = self.schecker.check(execution)
+            except TransientCounterError:
+                outcome.cost.counter_reads += 1
+                outcome.cost.counter_read_failures += 1
+                continue
+            except CounterUnavailableError:
+                outcome.cost.counter_reads += 1
+                outcome.cost.counter_read_failures += 1
+                break
+            outcome.cost.counter_reads += 1
+            self._consecutive_counter_failures = 0
+            return check
+        self._consecutive_counter_failures += 1
+        if (self._consecutive_counter_failures
+                >= self.config.counter_failure_degrade_after):
+            self._enter_degraded_mode(execution.end_ms)
+        return None
+
+    def _enter_degraded_mode(self, time_ms):
+        """Give up on counters; record it instead of crashing."""
+        self.degraded = True
+        self.report.note_degradation(
+            "timeout-only",
+            detail=(
+                f"counters lost after "
+                f"{self._consecutive_counter_failures} consecutive "
+                f"failed reads"
+            ),
+            time_ms=time_ms,
+        )
 
     def _phase_two(self, uid, state, execution, hang, outcome, device_id):
         """Diagnoser: trace and analyze if the timeout fires again."""
@@ -110,6 +202,21 @@ class HangDoctor(Detector):
         )
         outcome.cost.trace_samples = result.samples
         outcome.cost.analyses = len(result.hang_diagnoses)
+        outcome.cost.trace_failures = result.trace_failures
+        if result.quarantined:
+            name = execution.action.name
+            if name not in self._quarantines_reported:
+                self._quarantines_reported.add(name)
+                self.report.note_degradation(
+                    "trace-quarantine", detail=name,
+                    time_ms=execution.end_ms,
+                )
+        if result.trace_failures and not result.hang_diagnoses:
+            # Every collection was refused: no evidence either way, so
+            # the action keeps its state for the next manifestation.
+            return
+        if result.quarantined and not result.hang_diagnoses:
+            return
 
         bug_diagnoses = result.bug_diagnoses()
         if state is ActionState.SUSPICIOUS:

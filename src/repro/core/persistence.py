@@ -9,15 +9,35 @@ sequences, no content, no identifiers beyond an opaque device id) —
 plus JSON round-trips for the Hang Bug Report and the blocking-API
 database so state survives app restarts and database upgrades can be
 shipped to devices.
+
+Robustness contract: the ``*_from_json`` parsers validate payloads and
+raise one clear :class:`ValueError` naming the offending key on any
+malformed input (never a bare ``KeyError``/``TypeError``), and the
+:func:`load_report` / :func:`load_database` entry points never raise
+at all — a corrupt or truncated state file (crash mid-write) falls
+back to fresh state with ``recovered_from_corruption`` set, because
+on-device monitoring must survive its own persistence failing.
 """
 
 import json
 
 from repro.core.blocking_db import BlockingApiDatabase
-from repro.core.report import HangBugReport, ReportEntry
+from repro.core.report import DegradationRecord, HangBugReport, ReportEntry
 
 #: Wire-format version for forward compatibility.
 SCHEMA_VERSION = 1
+
+
+def _field(mapping, key, context):
+    """Fetch a required *key*, raising a named ValueError when absent."""
+    if not isinstance(mapping, dict):
+        raise ValueError(
+            f"malformed {context}: expected an object, got "
+            f"{type(mapping).__name__}"
+        )
+    if key not in mapping:
+        raise ValueError(f"malformed {context}: missing required key {key!r}")
+    return mapping[key]
 
 
 def detection_to_record(detection, device_id=0):
@@ -51,30 +71,71 @@ def report_to_json(report):
         "schema": SCHEMA_VERSION,
         "app": report.app_name,
         "entries": entries,
+        "degradations": [
+            {"kind": record.kind, "detail": record.detail,
+             "time_ms": record.time_ms}
+            for record in report.degradations
+        ],
     }, indent=2)
 
 
 def report_from_json(text):
-    """Rebuild a Hang Bug Report from its JSON form."""
-    payload = json.loads(text)
+    """Rebuild a Hang Bug Report from its JSON form.
+
+    Raises ValueError (naming the offending key) on malformed
+    payloads: wrong schema, missing fields, or non-object entries.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed report payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValueError("malformed report payload: expected an object")
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported report schema {payload.get('schema')!r}"
         )
-    report = HangBugReport(payload["app"])
-    for raw in payload["entries"]:
+    report = HangBugReport(_field(payload, "app", "report payload"))
+    for raw in _field(payload, "entries", "report payload"):
         entry = ReportEntry(
-            operation=raw["operation"],
-            file=raw["file"],
-            line=raw["line"],
-            is_self_developed=raw["self_developed"],
-            occurrences=raw["occurrences"],
-            devices=set(raw["devices"]),
-            total_hang_ms=raw["total_hang_ms"],
-            max_occurrence_factor=raw["max_occurrence_factor"],
+            operation=_field(raw, "operation", "report entry"),
+            file=_field(raw, "file", "report entry"),
+            line=_field(raw, "line", "report entry"),
+            is_self_developed=_field(raw, "self_developed", "report entry"),
+            occurrences=_field(raw, "occurrences", "report entry"),
+            devices=set(_field(raw, "devices", "report entry")),
+            total_hang_ms=_field(raw, "total_hang_ms", "report entry"),
+            max_occurrence_factor=_field(
+                raw, "max_occurrence_factor", "report entry"
+            ),
         )
         report._entries[(entry.operation, entry.file, entry.line)] = entry
+    for raw in payload.get("degradations", []):
+        report.degradations.append(DegradationRecord(
+            kind=_field(raw, "kind", "degradation record"),
+            detail=raw.get("detail", ""),
+            time_ms=raw.get("time_ms", 0.0),
+        ))
     return report
+
+
+def load_report(text, app_name, faults=None):
+    """Load a persisted report; never raises.
+
+    A :class:`~repro.faults.FaultInjector` may corrupt the payload
+    first (modeling a crash mid-write).  A payload that fails to parse
+    or validate yields a *fresh* report for *app_name* with
+    ``recovered_from_corruption`` set — losing history is recoverable,
+    crashing the host app is not.
+    """
+    if faults is not None:
+        text = faults.corrupt_text(text)
+    try:
+        return report_from_json(text)
+    except ValueError:
+        report = HangBugReport(app_name)
+        report.recovered_from_corruption = True
+        return report
 
 
 def merge_reports(reports, app_name=None):
@@ -82,7 +143,9 @@ def merge_reports(reports, app_name=None):
 
     This is the server-side half of the paper's deployment: each
     device uploads its own (anonymized) report; the developer sees the
-    aggregate ordered by occurrences across all devices.
+    aggregate ordered by occurrences across all devices.  Degradation
+    records concatenate; a merged report is marked recovered if any
+    input was.
     """
     if not reports:
         raise ValueError("no reports to merge")
@@ -109,6 +172,8 @@ def merge_reports(reports, app_name=None):
             existing.max_occurrence_factor = max(
                 existing.max_occurrence_factor, entry.max_occurrence_factor
             )
+        merged.degradations.extend(report.degradations)
+        merged.recovered_from_corruption |= report.recovered_from_corruption
     return merged
 
 
@@ -122,12 +187,45 @@ def database_to_json(db):
 
 
 def database_from_json(text):
-    """Rebuild a blocking-API database."""
-    payload = json.loads(text)
+    """Rebuild a blocking-API database.
+
+    Raises ValueError (naming the offending key) on malformed
+    payloads.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed database payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValueError("malformed database payload: expected an object")
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported database schema {payload.get('schema')!r}"
         )
-    db = BlockingApiDatabase(payload["names"])
+    names = _field(payload, "names", "database payload")
+    if not isinstance(names, list):
+        raise ValueError(
+            "malformed database payload: key 'names' must be a list"
+        )
+    db = BlockingApiDatabase(names)
     db._added_at_runtime = list(payload.get("runtime_discoveries", []))
     return db
+
+
+def load_database(text, faults=None):
+    """Load a persisted blocking-API database; never raises.
+
+    Falls back to the shipped initial database (see
+    :meth:`BlockingApiDatabase.initial`) with
+    ``recovered_from_corruption`` set when the payload is corrupt —
+    the curated list is recoverable expert knowledge, only the runtime
+    discoveries since the last good write are lost.
+    """
+    if faults is not None:
+        text = faults.corrupt_text(text)
+    try:
+        return database_from_json(text)
+    except ValueError:
+        db = BlockingApiDatabase.initial()
+        db.recovered_from_corruption = True
+        return db

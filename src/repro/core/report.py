@@ -12,6 +12,22 @@ reflect.
 from dataclasses import dataclass
 
 
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One graceful-degradation event of the monitoring substrate.
+
+    Recorded in the report (rather than crashing) when Hang Doctor
+    loses a monitor in the field: counters dying into timeout-only
+    mode, an action quarantined after repeated trace failures, state
+    recovered from a corrupt file.  Developers reading the report can
+    weigh each device's evidence by how degraded its monitors were.
+    """
+
+    kind: str
+    detail: str = ""
+    time_ms: float = 0.0
+
+
 @dataclass
 class ReportEntry:
     """Aggregated record of one detected soft hang bug."""
@@ -41,6 +57,17 @@ class HangBugReport:
     def __init__(self, app_name):
         self.app_name = app_name
         self._entries = {}
+        #: Graceful-degradation events, in occurrence order.
+        self.degradations = []
+        #: True when this report was rebuilt fresh because the
+        #: persisted copy was corrupt (see repro.core.persistence).
+        self.recovered_from_corruption = False
+
+    def note_degradation(self, kind, detail="", time_ms=0.0):
+        """Record one monitoring-degradation event."""
+        self.degradations.append(
+            DegradationRecord(kind=kind, detail=detail, time_ms=time_ms)
+        )
 
     def record(self, *, operation, file, line, is_self_developed,
                response_time_ms, occurrence_factor, device_id=0):
@@ -95,6 +122,14 @@ class HangBugReport:
                 f"{entry.operation:<{op_width}}{location:<{loc_width}}"
                 f"{entry.mean_hang_ms:>9.0f}{entry.occurrences:>9}"
                 f"{share:>7.0%}"
+            )
+        if self.recovered_from_corruption:
+            lines.append("(state recovered from a corrupt report file)")
+        for record in self.degradations:
+            detail = f" {record.detail}" if record.detail else ""
+            lines.append(
+                f"degraded: {record.kind}{detail} "
+                f"(t={record.time_ms:.0f} ms)"
             )
         return "\n".join(lines)
 

@@ -39,14 +39,20 @@ class SymptomCheck:
 class SChecker:
     """Lightweight first-phase symptom checker."""
 
-    def __init__(self, config, device, seed=0):
+    def __init__(self, config, device, seed=0, faults=None):
         self.config = config
         self.monitor = PerformanceEventMonitor(
-            device, config.filter_events(), seed=seed
+            device, config.filter_events(), seed=seed, faults=faults
         )
 
     def check(self, execution):
-        """Evaluate the filter over a whole action execution."""
+        """Evaluate the filter over a whole action execution.
+
+        Raises :class:`~repro.faults.TransientCounterError` or
+        :class:`~repro.faults.CounterUnavailableError` when an attached
+        fault injector fails the counter read; the caller (Hang
+        Doctor) owns the retry/degradation policy.
+        """
         values = self.monitor.read_differences(execution)
         if self.config.network_threshold_bytes is not None:
             # Footnote-2 extension: main-thread network activity during

@@ -65,32 +65,42 @@ class TraceAnalyzer:
         self.app_package = app_package
 
     def analyze(self, traces):
-        """Attribute the root cause of one hang from its stack traces."""
-        non_idle = [trace for trace in traces if trace.frames]
-        if not traces or not non_idle:
+        """Attribute the root cause of one hang from its stack traces.
+
+        Unreadable traces — ``None`` entries or traces whose unwind
+        failed (``frames`` is ``None``) — are skipped rather than
+        raised on: a flaky sampler yields partial evidence, and the
+        occurrence factors are computed over the readable traces only.
+        """
+        readable = [
+            trace for trace in traces
+            if trace is not None and trace.frames is not None
+        ]
+        non_idle = [trace for trace in readable if trace.frames]
+        if not readable or not non_idle:
             return Diagnosis(
                 root=None, occurrence=0.0, is_ui=False,
-                is_self_developed=False, trace_count=len(traces),
+                is_self_developed=False, trace_count=len(readable),
             )
 
         leaf_counts = Counter(trace.leaf for trace in non_idle)
         top_leaf, _ = leaf_counts.most_common(1)[0]
-        top_occurrence = occurrence_factor(traces, top_leaf)
+        top_occurrence = occurrence_factor(readable, top_leaf)
 
         if top_occurrence >= self.occurrence_threshold:
             root = top_leaf
         else:
             # Hang spread over many light calls: blame the most common
             # caller function (the frame above the leaf) instead.
-            root = self._dominant_caller(non_idle, traces) or top_leaf
-            top_occurrence = occurrence_factor(traces, root)
+            root = self._dominant_caller(non_idle, readable) or top_leaf
+            top_occurrence = occurrence_factor(readable, root)
 
         return Diagnosis(
             root=root,
             occurrence=top_occurrence,
             is_ui=is_ui_class(root.clazz),
             is_self_developed=self._is_self_developed(root),
-            trace_count=len(traces),
+            trace_count=len(readable),
             caller=self._caller_of(root, non_idle),
         )
 

@@ -5,8 +5,15 @@ the main thread's stack until the end of the soft hang.  Collection is
 the expensive part of runtime diagnosis — every sample unwinds and
 serializes the stack — so the collector also counts samples for the
 overhead model.
+
+With a :class:`~repro.faults.FaultInjector` attached, a collection
+window can be refused (:class:`~repro.faults.TraceCollectionError`)
+— the collector counts the failure and re-raises for the Diagnoser's
+quarantine policy — and surviving traces may come back truncated or
+unreadable for the analyzer to skip.
 """
 
+from repro.faults import TraceCollectionError
 from repro.sim.stacktrace import StackTraceSampler
 from repro.sim.timeline import MAIN_THREAD
 
@@ -14,10 +21,12 @@ from repro.sim.timeline import MAIN_THREAD
 class TraceCollector:
     """Collects main-thread stack traces over hang windows."""
 
-    def __init__(self, period_ms=20.0):
-        self.sampler = StackTraceSampler(period_ms=period_ms)
+    def __init__(self, period_ms=20.0, faults=None):
+        self.sampler = StackTraceSampler(period_ms=period_ms, faults=faults)
         #: Total stack-trace samples taken (overhead accounting).
         self.samples_collected = 0
+        #: Collection windows refused by the substrate.
+        self.collection_failures = 0
 
     def collect(self, execution, event_execution):
         """Sample the main thread for the duration of one hang event.
@@ -26,18 +35,18 @@ class TraceCollector:
         the event's processing — and runs "until the end of the soft
         hang" (the event's finish).
         """
-        start = event_execution.dispatch_ms
-        end = event_execution.finish_ms
-        traces = self.sampler.sample(
-            execution.timeline, MAIN_THREAD, start, end
+        return self.collect_window(
+            execution, event_execution.dispatch_ms, event_execution.finish_ms
         )
-        self.samples_collected += len(traces)
-        return traces
 
     def collect_window(self, execution, start_ms, end_ms):
         """Sample an arbitrary window (used by baseline detectors)."""
-        traces = self.sampler.sample(
-            execution.timeline, MAIN_THREAD, start_ms, end_ms
-        )
+        try:
+            traces = self.sampler.sample(
+                execution.timeline, MAIN_THREAD, start_ms, end_ms
+            )
+        except TraceCollectionError:
+            self.collection_failures += 1
+            raise
         self.samples_collected += len(traces)
         return traces

@@ -64,6 +64,12 @@ class MonitoringCost:
     trace_samples: int = 0
     #: Trace-analysis runs.
     analyses: int = 0
+    #: Counter-read attempts that failed (flaky/denied substrate);
+    #: failed attempts are also included in ``counter_reads`` — the
+    #: syscall was paid for whether or not it returned data.
+    counter_read_failures: int = 0
+    #: Trace-collection windows the substrate refused.
+    trace_failures: int = 0
 
     def add(self, other):
         """Accumulate another cost record into this one."""
@@ -73,6 +79,8 @@ class MonitoringCost:
         self.util_samples += other.util_samples
         self.trace_samples += other.trace_samples
         self.analyses += other.analyses
+        self.counter_read_failures += other.counter_read_failures
+        self.trace_failures += other.trace_failures
         return self
 
 

@@ -1,0 +1,152 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into concrete failures at the runtime's instrumentation seams.  Every
+decision draws from its own keyed stream
+(``stream(seed, "fault", *scope, channel, n)`` — see
+:mod:`repro.base.rng`), where ``n`` counts the draws on that channel,
+so:
+
+* the same (seed, scope) injects the identical fault sequence on every
+  run, for any ``--workers`` count (each app's injector is a pure
+  function of its per-app seed, independent of shard assignment);
+* fault draws never perturb the simulator's own streams — enabling
+  injection does not change what the app under test does, only what
+  the monitors observe;
+* a channel whose rate is zero never draws at all, so an all-zero plan
+  is a true no-op.
+
+Injected failures are :class:`InjectedFault` subclasses, which the
+hardened runtime (:class:`~repro.core.hang_doctor.HangDoctor` and
+friends) must absorb: a fault may degrade monitoring, never crash it.
+"""
+
+from repro.base.rng import stream
+from repro.base.frames import StackTrace
+from repro.faults.plan import FaultPlan
+
+
+class InjectedFault(RuntimeError):
+    """Base class for failures raised by the fault layer."""
+
+
+class TransientCounterError(InjectedFault):
+    """A counter read failed transiently; a retry may succeed."""
+
+
+class CounterUnavailableError(InjectedFault):
+    """The performance-counter substrate died permanently."""
+
+
+class TraceCollectionError(InjectedFault):
+    """Stack sampling was refused for one collection window."""
+
+
+class FaultInjector:
+    """Draws per-decision faults from seeded streams.
+
+    Parameters
+    ----------
+    plan: the :class:`FaultPlan` (validated on construction).
+    seed: root seed of the fault streams.
+    scope: extra stream keys (e.g. the app name) that decorrelate
+        injectors sharing one root seed.
+    """
+
+    def __init__(self, plan=None, seed=0, scope=()):
+        self.plan = (plan if plan is not None else FaultPlan()).validate()
+        self.seed = seed
+        self.scope = tuple(scope)
+        #: Per-channel draw counters (also a cheap injection audit).
+        self.draws = {}
+        #: Per-channel count of faults actually fired.
+        self.fired = {}
+
+    # ------------------------------------------------------------- draws
+
+    def _draw(self, channel):
+        """The next uniform draw on *channel* (advances its counter)."""
+        count = self.draws.get(channel, 0) + 1
+        self.draws[channel] = count
+        rng = stream(self.seed, "fault", *self.scope, channel, count)
+        return float(rng.random())
+
+    def _trip(self, channel, rate):
+        """True when *channel* fires at *rate*; never draws at rate 0."""
+        if rate <= 0.0:
+            return False
+        if self._draw(channel) < rate:
+            self.fired[channel] = self.fired.get(channel, 0) + 1
+            return True
+        return False
+
+    # ----------------------------------------------------------- counters
+
+    def counter_read_fault(self):
+        """Raise if this counter read fails (called once per attempt)."""
+        if self._trip("counter-unavailable",
+                      self.plan.counter_unavailable_rate):
+            raise CounterUnavailableError(
+                "perf counters permanently unavailable (injected)"
+            )
+        if self._trip("counter-transient", self.plan.counter_transient_rate):
+            raise TransientCounterError(
+                "transient counter read error (injected)"
+            )
+
+    def corrupt_counter_value(self, event, value):
+        """Possibly undercount one reading (silent multiplexing loss)."""
+        if self._trip("counter-undercount", self.plan.counter_undercount_rate):
+            return value * self.plan.counter_undercount_factor
+        return value
+
+    # ------------------------------------------------------------- traces
+
+    def trace_collection_fault(self):
+        """Raise if this stack-sampling window is refused."""
+        if self._trip("trace-denied", self.plan.trace_denied_rate):
+            raise TraceCollectionError("stack sampling denied (injected)")
+
+    def mangle_traces(self, traces):
+        """Truncate a fraction of collected traces.
+
+        A tripped trace loses its deepest half of frames; a trace with
+        nothing left becomes *unreadable* (``frames=None``), the shape
+        a real unwinder failure produces.  Untripped traces pass
+        through unchanged (same objects).
+        """
+        if self.plan.trace_truncate_rate <= 0.0:
+            return traces
+        out = []
+        for trace in traces:
+            if not self._trip("trace-truncate", self.plan.trace_truncate_rate):
+                out.append(trace)
+                continue
+            kept = trace.frames[: len(trace.frames) // 2]
+            out.append(StackTrace(
+                time_ms=trace.time_ms, frames=kept if kept else None
+            ))
+        return out
+
+    # -------------------------------------------------------- persistence
+
+    def corrupt_text(self, text):
+        """Possibly truncate a persisted JSON payload (crash mid-write)."""
+        draw_channel = "persistence-corrupt"
+        rate = self.plan.persistence_corrupt_rate
+        if rate <= 0.0:
+            return text
+        draw = self._draw(draw_channel)
+        if draw >= rate:
+            return text
+        self.fired[draw_channel] = self.fired.get(draw_channel, 0) + 1
+        # Reuse the draw to pick a deterministic cut point: the file
+        # lost its tail when the device died mid-write.
+        cut = int(draw / rate * max(0, len(text) - 1))
+        return text[:cut]
+
+    # ------------------------------------------------------------- status
+
+    def fired_total(self):
+        """Total faults fired across all channels."""
+        return sum(self.fired.values())

@@ -1,0 +1,104 @@
+"""Fault plans: which monitoring failures to inject, and how often.
+
+On real phones the monitoring substrate itself fails routinely:
+``perf_event_open`` is denied or unavailable on many kernels, counter
+reads hit transient ``EINTR``-style errors, stack sampling is refused
+by SELinux policies or returns truncated frames, and on-device state
+files get corrupted by crashes mid-write.  A :class:`FaultPlan` is the
+declarative description of that hostile environment — one rate per
+failure kind, all zero by default — consumed by
+:class:`~repro.faults.injector.FaultInjector`.
+
+A plan with every rate at zero injects nothing and draws no random
+numbers, so a zero plan is byte-identical to running with no fault
+layer at all.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-subsystem fault rates (all probabilities in [0, 1])."""
+
+    #: Per counter read: the read fails transiently (a retry may
+    #: succeed — the paper prototype's Simpleperf reads occasionally
+    #: return ``EINTR``/``EAGAIN``).
+    counter_transient_rate: float = 0.0
+    #: Per counter read: the counter file descriptor dies permanently
+    #: (``perf_event_open`` revoked); every later read on the same
+    #: monitor fails too.
+    counter_unavailable_rate: float = 0.0
+    #: Per counter value: the reading is silently undercounted, as when
+    #: perf multiplexes more events than registers and extrapolates
+    #: from a partial observation window.
+    counter_undercount_rate: float = 0.0
+    #: Multiplier applied to undercounted readings (0 <= factor < 1).
+    counter_undercount_factor: float = 0.5
+    #: Per trace collection: stack sampling is refused outright
+    #: (ptrace/SELinux denial) — no traces come back.
+    trace_denied_rate: float = 0.0
+    #: Per collected trace: the unwinder returns truncated frames (the
+    #: deepest half missing; fully-truncated stacks are unreadable).
+    trace_truncate_rate: float = 0.0
+    #: Per persistence load: the state file is corrupted (truncated
+    #: JSON, as after a crash mid-write).
+    persistence_corrupt_rate: float = 0.0
+
+    _RATE_FIELDS = (
+        "counter_transient_rate",
+        "counter_unavailable_rate",
+        "counter_undercount_rate",
+        "trace_denied_rate",
+        "trace_truncate_rate",
+        "persistence_corrupt_rate",
+    )
+
+    @property
+    def any_faults(self):
+        """True when at least one fault kind can fire."""
+        return any(getattr(self, name) > 0.0 for name in self._RATE_FIELDS)
+
+    def validate(self):
+        """Raise ValueError on rates outside [0, 1]."""
+        for name in self._RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if not 0.0 <= self.counter_undercount_factor < 1.0:
+            raise ValueError(
+                "counter_undercount_factor must be in [0, 1), got "
+                f"{self.counter_undercount_factor}"
+            )
+        return self
+
+    @classmethod
+    def uniform(cls, rate):
+        """A plan stressing every subsystem at roughly one *rate*.
+
+        Transient counter errors, trace denials/truncations, and
+        persistence corruption fire at *rate*; permanent counter death
+        at ``rate / 4`` (rarer in the field — one revocation kills the
+        monitor for good, so an equal rate would dominate the sweep).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            counter_transient_rate=rate,
+            counter_unavailable_rate=rate / 4.0,
+            counter_undercount_rate=rate,
+            trace_denied_rate=rate,
+            trace_truncate_rate=rate,
+            persistence_corrupt_rate=rate,
+        ).validate()
+
+    def describe(self):
+        """Compact ``kind=rate`` summary of the nonzero rates."""
+        parts = [
+            f"{name.replace('_rate', '')}={getattr(self, name):g}"
+            for name in self._RATE_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        return ", ".join(parts) if parts else "no faults"

@@ -11,9 +11,14 @@ payload that cannot be pickled, a sandbox that forbids subprocesses, a
 pool whose workers died) silently downgrades to a plain in-process
 loop over the same shard function, which by construction yields the
 identical result.  Exceptions raised *by the shard function itself*
-are real errors and always propagate.
+are real errors and always propagate: workers catch them and ship
+them back tagged in a :class:`_ShardFailure` sentinel, so the parent
+re-raises the original exception and never mistakes it for pool
+infrastructure failing (nor vice versa — anything the pool machinery
+itself raises is, by construction, infrastructure).
 """
 
+import functools
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -21,16 +26,19 @@ from concurrent.futures.process import BrokenProcessPool
 
 
 def resolve_workers(workers):
-    """Normalize a ``--workers`` value to a positive int.
+    """Normalize a ``--workers`` value to a positive worker count.
 
-    ``None`` and ``0`` mean "one worker per CPU"; negative counts are
-    rejected.
+    ``None`` and ``0`` both mean "one worker per CPU"; any positive
+    int is used as-is; negative counts are rejected.
     """
     if workers is None or workers == 0:
         return os.cpu_count() or 1
     workers = int(workers)
     if workers < 0:
-        raise ValueError(f"workers must be >= 0, got {workers}")
+        raise ValueError(
+            f"workers must be >= 0 (0 or None = one worker per CPU), "
+            f"got {workers}"
+        )
     return workers
 
 
@@ -64,6 +72,32 @@ def _picklable(payload):
         return False
 
 
+class _ShardFailure:
+    """Sentinel carrying an exception the shard function raised.
+
+    Workers return this instead of raising, which keeps the two error
+    classes apart by *type*: a shard-function exception crosses the
+    process boundary inside a sentinel, while anything raised by
+    ``pool.map`` itself is pool infrastructure.  (The old scheme
+    string-matched RuntimeError messages for "process"/"fork"/... and
+    swallowed shard RuntimeErrors that happened to mention those
+    words.)
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error):
+        self.error = error
+
+
+def _guarded(fn, item):
+    """Run one shard, returning exceptions as tagged sentinels."""
+    try:
+        return fn(item)
+    except Exception as error:  # noqa: BLE001 - re-raised by the parent
+        return _ShardFailure(error)
+
+
 def parallel_map(fn, items, workers=1, chunksize=1):
     """Ordered ``[fn(item) for item in items]`` over a process pool.
 
@@ -80,22 +114,17 @@ def parallel_map(fn, items, workers=1, chunksize=1):
         return [fn(item) for item in items]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (BrokenProcessPool, OSError, PermissionError, RuntimeError) as error:
-        if isinstance(error, RuntimeError) and not _is_pool_startup_error(error):
-            raise
+            results = list(pool.map(
+                functools.partial(_guarded, fn), items, chunksize=chunksize
+            ))
+    except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
+        # Shard-function exceptions never escape pool.map (they come
+        # back as _ShardFailure values), so whatever raised here is the
+        # pool itself: no semaphores, no fork support, dead workers.
+        # The serial loop reproduces the result — or the error — with
+        # no pool in the way.
         return [fn(item) for item in items]
-
-
-def _is_pool_startup_error(error):
-    """True for RuntimeErrors raised by pool startup, not by the task.
-
-    ``multiprocessing`` signals missing OS support (no semaphores, no
-    forking) via RuntimeError; those should downgrade, while a
-    RuntimeError raised inside the shard function must surface.
-    """
-    text = str(error).lower()
-    return any(
-        marker in text
-        for marker in ("process", "fork", "spawn", "semaphore", "synchroniz")
-    )
+    for result in results:
+        if isinstance(result, _ShardFailure):
+            raise result.error
+    return results

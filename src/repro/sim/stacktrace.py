@@ -22,12 +22,19 @@ class StackTraceSampler:
     period_ms:
         Sampling period.  The default 20 ms matches the paper's
         observed trace density (62 traces over a 1.3 s hang).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  When attached,
+        a sampling window may be refused outright (raising
+        :class:`~repro.faults.TraceCollectionError`, as a ptrace/
+        SELinux denial would) and individual traces may come back
+        truncated or unreadable (``frames=None``).
     """
 
-    def __init__(self, period_ms=20.0):
+    def __init__(self, period_ms=20.0, faults=None):
         if period_ms <= 0:
             raise ValueError(f"period_ms must be positive, got {period_ms}")
         self.period_ms = period_ms
+        self.faults = faults
 
     def sample(self, timeline, thread, start_ms, end_ms):
         """Return the stack traces sampled on *thread* in [start, end).
@@ -43,10 +50,14 @@ class StackTraceSampler:
             raise ValueError(
                 f"end_ms ({end_ms}) must not precede start_ms ({start_ms})"
             )
+        if self.faults is not None:
+            self.faults.trace_collection_fault()
         traces = []
         instant = start_ms
         while instant < end_ms:
             frames = timeline.stack_at(thread, instant)
             traces.append(StackTrace(time_ms=instant, frames=frames))
             instant += self.period_ms
+        if self.faults is not None:
+            traces = self.faults.mangle_traces(traces)
         return traces

@@ -39,6 +39,10 @@ def _boom(x):
     raise ValueError(f"boom {x}")
 
 
+def _boom_processy(x):
+    raise RuntimeError(f"worker process could not fork item {x}")
+
+
 def test_resolve_workers_defaults_to_cpu_count():
     assert resolve_workers(None) >= 1
     assert resolve_workers(0) == resolve_workers(None)
@@ -78,6 +82,17 @@ def test_parallel_map_propagates_task_errors():
         parallel_map(_boom, [1, 2], workers=1)
     with pytest.raises(ValueError, match="boom"):
         parallel_map(_boom, [1, 2], workers=2)
+
+
+def test_parallel_map_propagates_processy_shard_errors():
+    """Regression: shard exceptions whose message mentions pool-ish
+    words ("process", "fork") used to be string-matched as pool
+    startup failures and swallowed into the serial fallback — which
+    then re-raised a *different* invocation's error.  Shard errors now
+    cross the pool tagged in a sentinel, so the original exception
+    propagates no matter what its message says."""
+    with pytest.raises(RuntimeError, match="could not fork item"):
+        parallel_map(_boom_processy, [1, 2], workers=2)
 
 
 # ------------------------------------------------------- per-app seeding

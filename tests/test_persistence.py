@@ -1,4 +1,5 @@
-"""Tests for repro.core.persistence (JSON round-trips, merging)."""
+"""Tests for repro.core.persistence (JSON round-trips, merging, and
+recovery from malformed state files)."""
 
 import json
 
@@ -9,11 +10,14 @@ from repro.core.persistence import (
     database_from_json,
     database_to_json,
     detection_to_record,
+    load_database,
+    load_report,
     merge_reports,
     report_from_json,
     report_to_json,
 )
 from repro.core.report import HangBugReport
+from repro.faults import FaultInjector, FaultPlan
 
 
 def make_report(app="K9-mail", device=0, occurrences=2):
@@ -50,6 +54,76 @@ def test_report_schema_check():
     payload["schema"] = 99
     with pytest.raises(ValueError):
         report_from_json(json.dumps(payload))
+
+
+@pytest.mark.parametrize("breakage", ["", "not json at all", "[1, 2]"])
+def test_report_invalid_json_raises_valueerror(breakage):
+    with pytest.raises(ValueError):
+        report_from_json(breakage)
+
+
+def test_report_truncated_file_raises_valueerror():
+    """A crash mid-write leaves a prefix of the payload on disk."""
+    text = report_to_json(make_report())
+    for cut in (0, 1, len(text) // 2, len(text) - 1):
+        with pytest.raises(ValueError):
+            report_from_json(text[:cut])
+
+
+@pytest.mark.parametrize("key", [
+    "operation", "file", "line", "self_developed", "occurrences",
+    "devices", "total_hang_ms", "max_occurrence_factor",
+])
+def test_report_missing_entry_field_names_the_key(key):
+    payload = json.loads(report_to_json(make_report()))
+    del payload["entries"][0][key]
+    with pytest.raises(ValueError, match=f"missing required key '{key}'"):
+        report_from_json(json.dumps(payload))
+
+
+def test_report_missing_top_level_field_names_the_key():
+    payload = json.loads(report_to_json(make_report()))
+    del payload["app"]
+    with pytest.raises(ValueError, match="missing required key 'app'"):
+        report_from_json(json.dumps(payload))
+    payload = json.loads(report_to_json(make_report()))
+    payload["entries"] = ["not-an-object"]
+    with pytest.raises(ValueError, match="expected an object"):
+        report_from_json(json.dumps(payload))
+
+
+def test_report_degradations_roundtrip():
+    original = make_report()
+    original.note_degradation("timeout-only", detail="counters lost",
+                              time_ms=1234.5)
+    restored = report_from_json(report_to_json(original))
+    assert len(restored.degradations) == 1
+    record = restored.degradations[0]
+    assert record.kind == "timeout-only"
+    assert record.detail == "counters lost"
+    assert record.time_ms == 1234.5
+    assert "degraded: timeout-only" in restored.render()
+
+
+def test_load_report_recovers_from_corruption():
+    good = report_to_json(make_report())
+    restored = load_report(good, "K9-mail")
+    assert not restored.recovered_from_corruption
+    assert len(restored) == 1
+    for corrupt in (good[: len(good) // 2], "", "%%%"):
+        fresh = load_report(corrupt, "K9-mail")
+        assert fresh.recovered_from_corruption
+        assert fresh.app_name == "K9-mail"
+        assert len(fresh) == 0
+        assert "recovered from a corrupt report file" in fresh.render()
+
+
+def test_load_report_through_fault_injector():
+    injector = FaultInjector(FaultPlan(persistence_corrupt_rate=1.0), seed=3)
+    restored = load_report(report_to_json(make_report()), "K9-mail",
+                           faults=injector)
+    assert restored.recovered_from_corruption
+    assert injector.fired_total() == 1
 
 
 def test_merge_reports_sums_occurrences():
@@ -91,6 +165,46 @@ def test_database_schema_check():
     payload["schema"] = 0
     with pytest.raises(ValueError):
         database_from_json(json.dumps(payload))
+
+
+def test_merge_reports_carries_degradations_and_recovery():
+    part_a = make_report(device=0)
+    part_a.note_degradation("timeout-only", detail="counters lost")
+    part_b = load_report("corrupt{", "K9-mail")
+    merged = merge_reports([part_a, part_b])
+    assert [record.kind for record in merged.degradations] == ["timeout-only"]
+    assert merged.recovered_from_corruption
+
+
+def test_database_invalid_json_raises_valueerror():
+    with pytest.raises(ValueError):
+        database_from_json("{broken")
+    with pytest.raises(ValueError):
+        database_from_json("[]")
+
+
+def test_database_missing_field_names_the_key():
+    payload = json.loads(database_to_json(BlockingApiDatabase.initial()))
+    del payload["names"]
+    with pytest.raises(ValueError, match="missing required key 'names'"):
+        database_from_json(json.dumps(payload))
+    payload["names"] = "not-a-list"
+    with pytest.raises(ValueError, match="'names' must be a list"):
+        database_from_json(json.dumps(payload))
+
+
+def test_load_database_recovers_to_shipped_initial():
+    db = BlockingApiDatabase.initial()
+    db.add("org.htmlcleaner.HtmlCleaner.clean")
+    good = database_to_json(db)
+    assert load_database(good).names() == db.names()
+    assert not load_database(good).recovered_from_corruption
+    recovered = load_database(good[: len(good) // 2])
+    assert recovered.recovered_from_corruption
+    # The curated expert list survives; only runtime discoveries since
+    # the last good write are lost.
+    assert recovered.names() == BlockingApiDatabase.initial().names()
+    assert recovered.runtime_discoveries() == []
 
 
 def test_detection_record_is_anonymized(device, k9):
