@@ -11,6 +11,7 @@ runs Hang Doctor over the synthetic fleet from a shell:
 * ``filter`` — the correlation/threshold design pipeline (Tables 3-4)
 * ``testbed`` — lab-vs-wild bug coverage (§4.6)
 * ``chaos`` — detection quality under injected monitoring faults
+* ``crowd`` — fleet-size sweep of the crowd backend's diagnosis savings
 """
 
 import argparse
@@ -118,6 +119,25 @@ def cmd_chaos(args):
     result = chaos_sweep(_device(args.device), seed=args.seed, rates=rates,
                          apps=apps, users=users, actions_per_user=actions,
                          workers=args.workers)
+    print(result.render())
+
+
+def cmd_crowd(args):
+    """Run the crowd sweep: fleet size vs diagnosis-cost reduction."""
+    from repro.harness.exp_crowd import crowd_sweep
+
+    if args.quick:
+        fleet_sizes = (1, 4)
+        apps = ("K9-mail", "AndStatus")
+        rounds, actions = 2, 12
+    else:
+        fleet_sizes = tuple(int(n) for n in args.fleet_sizes.split(","))
+        apps = tuple(args.apps.split(",")) if args.apps else None
+        rounds, actions = args.rounds, args.actions
+    result = crowd_sweep(_device(args.device), seed=args.seed,
+                         fleet_sizes=fleet_sizes, rounds=rounds, apps=apps,
+                         actions_per_round=actions,
+                         fault_rate=args.fault_rate, workers=args.workers)
     print(result.render())
 
 
@@ -241,6 +261,32 @@ def build_parser():
     chaos.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     chaos.set_defaults(func=cmd_chaos)
+
+    crowd = sub.add_parser(
+        "crowd",
+        help="sweep fleet sizes with the crowd backend (diagnosis-cost "
+             "reduction curve)",
+    )
+    crowd.add_argument("--fleet-sizes", default="1,2,4,8",
+                       help="comma-separated device counts to sweep")
+    crowd.add_argument("--apps", default=None,
+                       help="comma-separated catalog app names "
+                            "(default: AndStatus, K9-mail)")
+    crowd.add_argument("--rounds", type=int, default=3,
+                       help="crowd sync rounds per fleet")
+    crowd.add_argument("--actions", type=int, default=40,
+                       help="actions per device per round")
+    crowd.add_argument("--fault-rate", type=float, default=0.0,
+                       help="upload fault rate (drop/duplicate/delay)")
+    crowd.add_argument("--quick", action="store_true",
+                       help="small fixed preset (2 apps, 2 fleet sizes) "
+                            "for CI determinism smoke")
+    crowd.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                       help="root seed (also accepted before the "
+                            "subcommand)")
+    crowd.add_argument("--workers", type=_workers, default=1,
+                       help=workers_help)
+    crowd.set_defaults(func=cmd_crowd)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
     filt.set_defaults(func=cmd_filter)

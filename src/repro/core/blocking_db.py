@@ -43,13 +43,52 @@ class BlockingApiDatabase:
         self._added_at_runtime.append(qualified_name)
         return True
 
+    def merge(self, other):
+        """Fold another database's knowledge into this one.
+
+        Names dedupe **case-sensitively** by exact qualified-name match
+        (``a.B.c`` and ``a.b.c`` are different APIs — Java identifiers
+        are case-sensitive, and folding case would silently alias
+        them).  Merged names are *not* marked as runtime discoveries of
+        this database — they were discovered elsewhere — but the other
+        database's own discovery list is appended (first-seen order,
+        duplicates dropped) so provenance survives crowd publishing.
+
+        Returns the number of names that were new to this database.
+        """
+        added = 0
+        for name in other.sorted_names():
+            if name not in self._names:
+                self._names.add(name)
+                added += 1
+        known_discoveries = set(self._added_at_runtime)
+        for name in other.runtime_discoveries():
+            if name not in known_discoveries:
+                known_discoveries.add(name)
+                self._added_at_runtime.append(name)
+        return added
+
     def runtime_discoveries(self):
         """Qualified names added at runtime, in discovery order."""
         return list(self._added_at_runtime)
 
     def names(self):
-        """All known blocking-API names (a copy)."""
+        """All known blocking-API names (a set copy)."""
         return set(self._names)
+
+    def sorted_names(self):
+        """All known names in the database's canonical (sorted) order.
+
+        This is the iteration/serialization order: crowd publishing and
+        local saves both emit it, so two databases with equal contents
+        always serialize byte-identically regardless of insertion
+        history.
+        """
+        return sorted(self._names)
+
+    def __iter__(self):
+        """Iterate names in canonical (sorted) order."""
+        return iter(self.sorted_names())
 
     def __len__(self):
         return len(self._names)

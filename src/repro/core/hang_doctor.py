@@ -52,7 +52,7 @@ class HangDoctor(Detector):
     name = "HD"
 
     def __init__(self, app, device, config=None, blocking_db=None, seed=0,
-                 faults=None):
+                 faults=None, crowd_kb=None):
         self.app = app
         self.device = device
         self.config = (config or HangDoctorConfig()).validate()
@@ -60,6 +60,12 @@ class HangDoctor(Detector):
             blocking_db if blocking_db is not None
             else BlockingApiDatabase.initial()
         )
+        #: Crowd-synced known-bug knowledge (see :mod:`repro.crowd`):
+        #: when the fleet has already diagnosed this (app, action), the
+        #: Diagnoser's trace collection is skipped and the known
+        #: verdict is applied directly.  None disables the path — the
+        #: paper's isolated-device behaviour.
+        self.crowd_kb = crowd_kb
         if isinstance(faults, FaultPlan):
             faults = FaultInjector(faults, seed=seed, scope=(app.name,))
         self.faults = faults
@@ -76,6 +82,12 @@ class HangDoctor(Detector):
         self.report = HangBugReport(app.name)
         #: True once counters died and only the timeout remains.
         self.degraded = False
+        #: Phase-2 trace collections actually paid for (the expensive
+        #: half of the two-phase cost, what the crowd backend drives
+        #: down fleet-wide).
+        self.phase2_collections = 0
+        #: Phase-2 collections avoided via the crowd known-bug DB.
+        self.kb_short_circuits = 0
         self._consecutive_counter_failures = 0
         self._quarantines_reported = set()
 
@@ -189,6 +201,54 @@ class HangDoctor(Detector):
             time_ms=time_ms,
         )
 
+    def _crowd_short_circuit(self, uid, state, execution, outcome,
+                             device_id):
+        """Apply a fleet-diagnosed verdict instead of collecting traces.
+
+        Returns True when the crowd knowledge base holds a confirmed
+        bug for this (app, action): the action jumps straight from
+        S-Checker's Suspicious verdict to Hang Bug, the known root
+        cause is recorded for this manifestation (report + detection +
+        blocking-API database), and no trace collection is paid for —
+        the bug was already diagnosed elsewhere in the fleet.
+        """
+        if self.crowd_kb is None:
+            return False
+        known = self.crowd_kb.lookup(self.app.name, execution.action.name)
+        if known is None:
+            return False
+        self.kb_short_circuits += 1
+        outcome.cost.kb_short_circuits += 1
+        if state is ActionState.SUSPICIOUS:
+            self.machine.transition(uid, ActionState.HANG_BUG, "Crowd-KB",
+                                    time_ms=execution.end_ms)
+        outcome.detections.append(
+            Detection(
+                detector=self.name,
+                app_name=self.app.name,
+                action_name=execution.action.name,
+                time_ms=execution.end_ms,
+                response_time_ms=execution.response_time_ms,
+                root=known.root_frame(),
+                occurrence=known.occurrence,
+                root_is_ui=False,
+                is_self_developed=known.is_self_developed,
+            )
+        )
+        self.report.record(
+            operation=known.operation,
+            file=known.file,
+            line=known.line,
+            is_self_developed=known.is_self_developed,
+            response_time_ms=execution.response_time_ms,
+            occurrence_factor=known.occurrence,
+            device_id=device_id,
+            action=execution.action.name,
+        )
+        if not known.is_self_developed:
+            self.blocking_db.add(known.operation)
+        return True
+
     def _phase_two(self, uid, state, execution, hang, outcome, device_id):
         """Diagnoser: trace and analyze if the timeout fires again."""
         if not hang:
@@ -196,6 +256,10 @@ class HangDoctor(Detector):
             return
         if state is ActionState.HANG_BUG and not self.config.trace_hang_bug_state:
             return
+        if self._crowd_short_circuit(uid, state, execution, outcome,
+                                     device_id):
+            return
+        self.phase2_collections += 1
         result = self.diagnoser.diagnose(execution)
         outcome.trace_episodes.extend(
             (h.start_ms, h.end_ms) for h in result.hang_diagnoses
@@ -251,6 +315,7 @@ class HangDoctor(Detector):
                 response_time_ms=hang_diag.response_time_ms,
                 occurrence_factor=diagnosis.occurrence,
                 device_id=device_id,
+                action=execution.action.name,
             )
             if not diagnosis.is_self_developed:
                 self.blocking_db.add(diagnosis.root.qualified_name)

@@ -59,6 +59,7 @@ def report_to_json(report):
     for entry in report.entries():
         entries.append({
             "operation": entry.operation,
+            "action": entry.action,
             "file": entry.file,
             "line": entry.line,
             "self_developed": entry.is_self_developed,
@@ -108,8 +109,11 @@ def report_from_json(text):
             max_occurrence_factor=_field(
                 raw, "max_occurrence_factor", "report entry"
             ),
+            # Optional for pre-crowd payloads, which had no action.
+            action=raw.get("action", ""),
         )
-        report._entries[(entry.operation, entry.file, entry.line)] = entry
+        key = (entry.action, entry.operation, entry.file, entry.line)
+        report._entries[key] = entry
     for raw in payload.get("degradations", []):
         report.degradations.append(DegradationRecord(
             kind=_field(raw, "kind", "degradation record"),
@@ -157,13 +161,14 @@ def merge_reports(reports, app_name=None):
     merged = HangBugReport(app_name)
     for report in reports:
         for entry in report.entries():
-            key = (entry.operation, entry.file, entry.line)
+            key = (entry.action, entry.operation, entry.file, entry.line)
             existing = merged._entries.get(key)
             if existing is None:
                 existing = ReportEntry(
                     operation=entry.operation, file=entry.file,
                     line=entry.line,
                     is_self_developed=entry.is_self_developed,
+                    action=entry.action,
                 )
                 merged._entries[key] = existing
             existing.occurrences += entry.occurrences
@@ -181,7 +186,7 @@ def database_to_json(db):
     """Serialize a blocking-API database (the shippable upgrade)."""
     return json.dumps({
         "schema": SCHEMA_VERSION,
-        "names": sorted(db.names()),
+        "names": db.sorted_names(),
         "runtime_discoveries": db.runtime_discoveries(),
     }, indent=2)
 

@@ -11,6 +11,22 @@ reflect.
 
 from dataclasses import dataclass
 
+#: Number of occurrence-factor buckets used by root-cause signatures.
+#: Ten deciles: a bug whose occurrence factor drifts a little between
+#: devices (sampling jitter) still lands in the same bucket, while a
+#: genuinely different manifestation (60 % vs 95 %) does not.
+OCCURRENCE_BUCKETS = 10
+
+
+def occurrence_bucket(factor):
+    """Decile bucket of an occurrence factor (0..OCCURRENCE_BUCKETS-1).
+
+    Factors are clamped into [0, 1] first so a slightly-out-of-range
+    value (float noise) cannot create a phantom bucket.
+    """
+    clamped = min(max(float(factor), 0.0), 1.0)
+    return min(int(clamped * OCCURRENCE_BUCKETS), OCCURRENCE_BUCKETS - 1)
+
 
 @dataclass(frozen=True)
 class DegradationRecord:
@@ -40,6 +56,9 @@ class ReportEntry:
     devices: set = None
     total_hang_ms: float = 0.0
     max_occurrence_factor: float = 0.0
+    #: User action whose executions manifested the bug ("" when the
+    #: recorder predates action attribution or did not know it).
+    action: str = ""
 
     def __post_init__(self):
         if self.devices is None:
@@ -49,6 +68,23 @@ class ReportEntry:
     def mean_hang_ms(self):
         """Average hang length across the recorded occurrences."""
         return self.total_hang_ms / self.occurrences if self.occurrences else 0.0
+
+    def root_cause_signature(self, app_name):
+        """Stable fleet-wide identity of this bug.
+
+        The crowd backend dedupes hang bugs across devices by
+        ``app | action | root-cause operation | occurrence bucket``:
+        the same blocking API reached from two different user actions
+        is two user-facing bugs, while per-device occurrence-factor
+        jitter inside one decile is the same bug.  The string is
+        deterministic (no set/dict iteration) and survives the report's
+        JSON round-trip unchanged, which is what lets every device
+        compute it independently and the server merge on it.
+        """
+        return "|".join((
+            app_name, self.action, self.operation,
+            f"occ{occurrence_bucket(self.max_occurrence_factor)}",
+        ))
 
 
 class HangBugReport:
@@ -70,14 +106,21 @@ class HangBugReport:
         )
 
     def record(self, *, operation, file, line, is_self_developed,
-               response_time_ms, occurrence_factor, device_id=0):
-        """Fold one runtime detection into the report."""
-        key = (operation, file, line)
+               response_time_ms, occurrence_factor, device_id=0,
+               action=""):
+        """Fold one runtime detection into the report.
+
+        Entries are keyed by (action, operation, file, line): the same
+        operation blamed under two different user actions is kept as
+        two entries, because the crowd backend dedupes bugs fleet-wide
+        by action-qualified root-cause signature.
+        """
+        key = (action, operation, file, line)
         entry = self._entries.get(key)
         if entry is None:
             entry = ReportEntry(
                 operation=operation, file=file, line=line,
-                is_self_developed=is_self_developed,
+                is_self_developed=is_self_developed, action=action,
             )
             self._entries[key] = entry
         entry.occurrences += 1
@@ -89,9 +132,13 @@ class HangBugReport:
 
     def entries(self):
         """Entries ordered by share of occurrences (descending), as in
-        the paper's example report."""
+        the paper's example report.  Ties break on the entry key
+        (action, operation, file, line), so the order — and therefore
+        the serialized report — never depends on recording order."""
         return sorted(
-            self._entries.values(), key=lambda e: e.occurrences, reverse=True
+            self._entries.values(),
+            key=lambda e: (-e.occurrences, e.action, e.operation,
+                           e.file or "", e.line or 0),
         )
 
     def total_occurrences(self):

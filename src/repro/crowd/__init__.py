@@ -1,0 +1,41 @@
+"""The crowd backend: fleet-wide ingestion, dedup, and publishing.
+
+The server-side subsystem that closes the paper's feedback loop across
+devices instead of within one: per-device Hang Bug Reports upload as
+idempotent batches, the :class:`CrowdAggregator` dedupes bugs by
+root-cause signature and maintains cross-device statistics, and the
+merged blocking-API database plus the :class:`CrowdKnowledge`
+known-bug table are published back so every device can short-circuit
+straight from S-Checker to a known-bug verdict for bugs the fleet has
+already paid to diagnose.
+
+See ``docs/crowd.md`` for the pipeline walk-through and
+:mod:`repro.harness.exp_crowd` for the fleet-size sweep that measures
+the diagnosis-cost reduction.
+"""
+
+from repro.crowd.aggregator import (
+    BugObservation,
+    CrowdAggregator,
+    CrowdBugStat,
+    CrowdKnowledge,
+    KnownBug,
+    ReportBatch,
+)
+from repro.crowd.store import (
+    aggregator_from_json,
+    aggregator_to_json,
+    load_aggregator,
+)
+
+__all__ = [
+    "BugObservation",
+    "CrowdAggregator",
+    "CrowdBugStat",
+    "CrowdKnowledge",
+    "KnownBug",
+    "ReportBatch",
+    "aggregator_from_json",
+    "aggregator_to_json",
+    "load_aggregator",
+]

@@ -1,0 +1,126 @@
+"""Crowd-backend persistence.
+
+JSON round-trips for the :class:`~repro.crowd.aggregator.CrowdAggregator`
+so the server side survives restarts, following the same robustness
+contract as :mod:`repro.core.persistence`: ``aggregator_from_json``
+raises one clear :class:`ValueError` naming the offending key on any
+malformed payload, and :func:`load_aggregator` never raises at all —
+a corrupt or truncated state file falls back to a fresh (empty)
+aggregator with ``recovered_from_corruption`` set.  Losing the crowd
+state is recoverable (devices keep uploading, the statistics re-grow);
+a crashed ingestion service is not.
+
+Serialization folds batches in sorted-id order, so two aggregators
+with equal contents — however their batches arrived — always
+serialize byte-identically.
+"""
+
+import json
+
+from repro.core.persistence import SCHEMA_VERSION, _field
+from repro.crowd.aggregator import BugObservation, CrowdAggregator, ReportBatch
+
+#: Wire-format version of the crowd store.
+CROWD_SCHEMA_VERSION = SCHEMA_VERSION
+
+
+def aggregator_to_json(aggregator):
+    """Serialize a crowd aggregator (canonical batch order)."""
+    batches = []
+    for batch in aggregator.batches():
+        batches.append({
+            "batch_id": batch.batch_id,
+            "app": batch.app_name,
+            "device": batch.device_id,
+            "time_ms": batch.time_ms,
+            "observations": [
+                {
+                    "signature": obs.signature,
+                    "action": obs.action,
+                    "operation": obs.operation,
+                    "file": obs.file,
+                    "line": obs.line,
+                    "self_developed": obs.is_self_developed,
+                    "occurrences": obs.occurrences,
+                    "total_hang_ms": obs.total_hang_ms,
+                    "max_occurrence_factor": obs.max_occurrence_factor,
+                }
+                for obs in batch.observations
+            ],
+        })
+    return json.dumps({
+        "schema": CROWD_SCHEMA_VERSION,
+        "batches": batches,
+    }, indent=2)
+
+
+def aggregator_from_json(text):
+    """Rebuild a crowd aggregator from its JSON form.
+
+    Raises ValueError (naming the offending key) on malformed
+    payloads: wrong schema, missing fields, or non-object batches.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed crowd payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ValueError("malformed crowd payload: expected an object")
+    if payload.get("schema") != CROWD_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported crowd schema {payload.get('schema')!r}"
+        )
+    batches = _field(payload, "batches", "crowd payload")
+    if not isinstance(batches, list):
+        raise ValueError(
+            "malformed crowd payload: key 'batches' must be a list"
+        )
+    aggregator = CrowdAggregator()
+    for raw in batches:
+        observations = []
+        for obs in _field(raw, "observations", "crowd batch"):
+            observations.append(BugObservation(
+                signature=_field(obs, "signature", "crowd observation"),
+                action=_field(obs, "action", "crowd observation"),
+                operation=_field(obs, "operation", "crowd observation"),
+                file=_field(obs, "file", "crowd observation"),
+                line=_field(obs, "line", "crowd observation"),
+                is_self_developed=_field(
+                    obs, "self_developed", "crowd observation"
+                ),
+                occurrences=_field(obs, "occurrences", "crowd observation"),
+                total_hang_ms=_field(
+                    obs, "total_hang_ms", "crowd observation"
+                ),
+                max_occurrence_factor=_field(
+                    obs, "max_occurrence_factor", "crowd observation"
+                ),
+            ))
+        aggregator.ingest(ReportBatch(
+            batch_id=_field(raw, "batch_id", "crowd batch"),
+            app_name=_field(raw, "app", "crowd batch"),
+            device_id=_field(raw, "device", "crowd batch"),
+            time_ms=_field(raw, "time_ms", "crowd batch"),
+            observations=tuple(observations),
+        ))
+    return aggregator
+
+
+def load_aggregator(text, faults=None):
+    """Load a persisted crowd aggregator; never raises.
+
+    A :class:`~repro.faults.FaultInjector` may corrupt the payload
+    first (a crash mid-write on the server).  A payload that fails to
+    parse or validate yields a fresh empty aggregator with
+    ``recovered_from_corruption`` set — the fleet re-grows the
+    statistics, while a crashed ingestion service would stop the whole
+    feedback loop.
+    """
+    if faults is not None:
+        text = faults.corrupt_text(text)
+    try:
+        return aggregator_from_json(text)
+    except ValueError:
+        aggregator = CrowdAggregator()
+        aggregator.recovered_from_corruption = True
+        return aggregator

@@ -70,6 +70,9 @@ class MonitoringCost:
     counter_read_failures: int = 0
     #: Trace-collection windows the substrate refused.
     trace_failures: int = 0
+    #: Phase-2 collections avoided because the crowd-synced known-bug
+    #: database already held a verdict for the hanging action.
+    kb_short_circuits: int = 0
 
     def add(self, other):
         """Accumulate another cost record into this one."""
@@ -81,6 +84,7 @@ class MonitoringCost:
         self.analyses += other.analyses
         self.counter_read_failures += other.counter_read_failures
         self.trace_failures += other.trace_failures
+        self.kb_short_circuits += other.kb_short_circuits
         return self
 
 

@@ -128,6 +128,22 @@ class FaultInjector:
             ))
         return out
 
+    # ---------------------------------------------------- report uploads
+
+    def drop_report_batch(self):
+        """True when this report-batch upload is lost in transit."""
+        return self._trip("report-drop", self.plan.report_drop_rate)
+
+    def duplicate_report_batch(self):
+        """True when this report batch is delivered a second time (a
+        lost ack made the device re-send); the crowd backend must
+        ingest idempotently."""
+        return self._trip("report-duplicate", self.plan.report_duplicate_rate)
+
+    def delay_report_batch(self):
+        """True when this report batch arrives one sync round late."""
+        return self._trip("report-delay", self.plan.report_delay_rate)
+
     # -------------------------------------------------------- persistence
 
     def corrupt_text(self, text):

@@ -44,6 +44,16 @@ class FaultPlan:
     #: Per persistence load: the state file is corrupted (truncated
     #: JSON, as after a crash mid-write).
     persistence_corrupt_rate: float = 0.0
+    #: Per report-batch upload: the batch is lost in transit (the
+    #: device was offline and its retry window expired).
+    report_drop_rate: float = 0.0
+    #: Per report-batch upload: the batch is delivered twice (an ack
+    #: was lost and the device re-sent) — ingestion must be idempotent.
+    report_duplicate_rate: float = 0.0
+    #: Per report-batch upload: the batch arrives one sync round late
+    #: (queued behind a dead radio), after the round's database was
+    #: already published.
+    report_delay_rate: float = 0.0
 
     _RATE_FIELDS = (
         "counter_transient_rate",
@@ -52,6 +62,9 @@ class FaultPlan:
         "trace_denied_rate",
         "trace_truncate_rate",
         "persistence_corrupt_rate",
+        "report_drop_rate",
+        "report_duplicate_rate",
+        "report_delay_rate",
     )
 
     @property
@@ -78,10 +91,11 @@ class FaultPlan:
     def uniform(cls, rate):
         """A plan stressing every subsystem at roughly one *rate*.
 
-        Transient counter errors, trace denials/truncations, and
-        persistence corruption fire at *rate*; permanent counter death
-        at ``rate / 4`` (rarer in the field — one revocation kills the
-        monitor for good, so an equal rate would dominate the sweep).
+        Transient counter errors, trace denials/truncations,
+        persistence corruption, and report-batch drops/duplicates/
+        delays fire at *rate*; permanent counter death at ``rate / 4``
+        (rarer in the field — one revocation kills the monitor for
+        good, so an equal rate would dominate the sweep).
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")
@@ -92,6 +106,9 @@ class FaultPlan:
             trace_denied_rate=rate,
             trace_truncate_rate=rate,
             persistence_corrupt_rate=rate,
+            report_drop_rate=rate,
+            report_duplicate_rate=rate,
+            report_delay_rate=rate,
         ).validate()
 
     def describe(self):

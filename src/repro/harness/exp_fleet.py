@@ -165,17 +165,20 @@ class Table5Result:
 
 
 def _run_fleet_app(app, device, seed, users, actions_per_user, config,
-                   generator, scanner, blocking_db):
+                   generator, scanner, blocking_db, crowd_kb=None):
     """Deploy Hang Doctor on one app of the corpus.
 
     Returns ``(row, clean_flagged)``: a :class:`Table5Row` for catalog
     (bug-bearing) apps or ``None`` for generated clean ones, plus 1 if
-    a clean app was wrongly flagged.
+    a clean app was wrongly flagged.  *crowd_kb* (a
+    :class:`~repro.crowd.CrowdKnowledge`) lets the device short-circuit
+    fleet-diagnosed bugs instead of re-collecting traces.
     """
     app_seed = fleet_app_seed(seed, app.name)
     engine = ExecutionEngine(device, seed=app_seed)
     doctor = HangDoctor(
-        app, device, config=config, blocking_db=blocking_db, seed=app_seed
+        app, device, config=config, blocking_db=blocking_db, seed=app_seed,
+        crowd_kb=crowd_kb,
     )
     detections = []
     is_catalog = bool(app.hang_bug_operations())
@@ -209,17 +212,24 @@ def _table5_shard(payload):
     """Run one contiguous slice of the corpus (module-level so the
     process pool can pickle it); returns a partial :class:`Table5Result`."""
     (device, seed, users, actions_per_user, corpus_size, config,
-     indices) = payload
+     indices, blocking_names, crowd_kb) = payload
     apps = build_corpus(seed=seed, size=corpus_size)
     generator = SessionGenerator(seed=seed)
-    scanner = OfflineScanner()
-    blocking_db = BlockingApiDatabase.initial()
+    if blocking_names is None:
+        blocking_db = BlockingApiDatabase.initial()
+    else:
+        # Crowd-synced deployment: start from the fleet's published
+        # database, so the scanner and runtime agree on what is known.
+        blocking_db = BlockingApiDatabase(blocking_names)
+    scanner = OfflineScanner(blocking_db=BlockingApiDatabase(
+        blocking_db.names()
+    ))
     rows = []
     clean_flagged = 0
     for index in indices:
         row, flagged = _run_fleet_app(
             apps[index], device, seed, users, actions_per_user, config,
-            generator, scanner, blocking_db,
+            generator, scanner, blocking_db, crowd_kb=crowd_kb,
         )
         if row is not None:
             rows.append(row)
@@ -233,15 +243,27 @@ def _table5_shard(payload):
 
 
 def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
-           config=None, workers=1):
+           config=None, workers=1, blocking_names=None, crowd_kb=None):
     """Reproduce Table 5's fleet study (scaled-down user base).
 
     ``workers`` shards the corpus across processes; any worker count
     yields byte-identical results (per-app seeds make every app's run
     independent of corpus position and shard assignment).
+
+    The two crowd hooks run the fleet as crowd-synced devices instead
+    of isolated ones: *blocking_names* pre-seeds every device's (and
+    the offline scanner's) blocking-API database — e.g. the
+    ``sorted_names()`` of a published
+    :meth:`~repro.crowd.CrowdAggregator.publish_database` — and
+    *crowd_kb* (a :class:`~repro.crowd.CrowdKnowledge`) lets devices
+    short-circuit fleet-diagnosed bugs without re-collecting traces.
+    Defaults reproduce the paper's isolated deployment unchanged.
     """
+    if blocking_names is not None:
+        blocking_names = tuple(sorted(blocking_names))
     shards = [
-        (device, seed, users, actions_per_user, corpus_size, config, indices)
+        (device, seed, users, actions_per_user, corpus_size, config, indices,
+         blocking_names, crowd_kb)
         for indices in chunk_indices(corpus_size, resolve_workers(workers))
     ]
     parts = parallel_map(_table5_shard, shards, workers=workers)

@@ -110,3 +110,45 @@ def test_empty_report():
     assert len(report) == 0
     assert report.total_occurrences() == 0
     assert "Empty" in report.render()
+
+
+def test_merge_folds_other_database_case_sensitively():
+    db = BlockingApiDatabase({"a.B.c"})
+    other = BlockingApiDatabase({"a.b.c", "x.Y.z"})
+    other.add("q.R.s")
+    added = db.merge(other)
+    # a.b.c and a.B.c differ: Java identifiers are case-sensitive.
+    assert added == 3
+    assert db.names() == {"a.B.c", "a.b.c", "x.Y.z", "q.R.s"}
+    # Merged names are not this database's own discoveries, but the
+    # other side's discovery provenance survives the fold.
+    assert db.runtime_discoveries() == ["q.R.s"]
+    assert db.merge(other) == 0
+
+
+def test_sorted_names_is_the_iteration_order():
+    db = BlockingApiDatabase({"z.Z.z", "a.A.a", "m.M.m"})
+    assert db.sorted_names() == ["a.A.a", "m.M.m", "z.Z.z"]
+    assert list(db) == db.sorted_names()
+    db.add("b.B.b")
+    assert list(db) == ["a.A.a", "b.B.b", "m.M.m", "z.Z.z"]
+
+
+def test_report_keeps_per_action_entries():
+    """The same root cause under two actions stays two entries (the
+    crowd backend dedupes by action-qualified signature)."""
+    report = HangBugReport("K9-mail")
+    for action in ("open_email", "search"):
+        report.record(
+            operation="a.B.c", file="B.java", line=4,
+            is_self_developed=False, response_time_ms=600.0,
+            occurrence_factor=0.5, action=action,
+        )
+    assert len(report) == 2
+    signatures = {
+        entry.root_cause_signature("K9-mail") for entry in report.entries()
+    }
+    assert signatures == {
+        "K9-mail|open_email|a.B.c|occ5",
+        "K9-mail|search|a.B.c|occ5",
+    }

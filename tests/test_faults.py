@@ -311,3 +311,33 @@ def test_collector_counts_refusals(device, k9):
         collector.collect(execution, execution.events[0])
     assert collector.collection_failures == 1
     assert collector.samples_collected == 0
+
+
+# ------------------------------------------------- report-upload channels
+
+
+def test_report_upload_channels_fire_deterministically():
+    plan = FaultPlan(report_drop_rate=1.0, report_duplicate_rate=1.0,
+                     report_delay_rate=1.0)
+    injector = FaultInjector(plan, seed=5, scope=("upload",))
+    assert injector.drop_report_batch()
+    assert injector.duplicate_report_batch()
+    assert injector.delay_report_batch()
+    again = FaultInjector(plan, seed=5, scope=("upload",))
+    assert [again.drop_report_batch() for _ in range(4)] == [True] * 4
+
+
+def test_report_upload_channels_never_draw_at_rate_zero():
+    injector = FaultInjector(FaultPlan(), seed=0)
+    assert not injector.drop_report_batch()
+    assert not injector.duplicate_report_batch()
+    assert not injector.delay_report_batch()
+    assert injector.draws == {}
+
+
+def test_uniform_plan_covers_report_channels():
+    plan = FaultPlan.uniform(0.25)
+    assert plan.report_drop_rate == 0.25
+    assert plan.report_duplicate_rate == 0.25
+    assert plan.report_delay_rate == 0.25
+    assert "report_drop=0.25" in plan.describe()
