@@ -1,0 +1,23 @@
+"""Checkpointed experiment execution.
+
+Long sweeps (`repro chaos`, `repro crowd`, the fleet/Table 5 study,
+seed stability) journal every completed shard to disk so a crash or
+kill mid-run is restartable: ``--checkpoint DIR --resume`` skips the
+journaled shards and re-runs only the rest, producing byte-identical
+output to an uninterrupted run.  See :mod:`repro.checkpoint.journal`
+for the mechanics and safety properties.
+"""
+
+from repro.checkpoint.journal import (
+    JOURNAL_SCHEMA,
+    ShardJournal,
+    checkpointed_map,
+    run_key,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "ShardJournal",
+    "checkpointed_map",
+    "run_key",
+]

@@ -1,0 +1,235 @@
+"""The shard-level checkpoint journal behind every ``--checkpoint``.
+
+A long sweep decomposes into pure shards (see :mod:`repro.parallel`);
+the journal persists each shard's result the moment it completes, so a
+crash, deadline kill, or plain ``kill -9`` mid-sweep loses only the
+shards still in flight.  On ``--resume`` the sweep loads completed
+shards from the journal and re-runs the rest — and because every shard
+is a pure function of its payload, the resumed run's merged output is
+byte-identical to an uninterrupted one.
+
+Safety properties:
+
+* **Crash-atomic entries**: every write goes through
+  :func:`repro.core.persistence.atomic_write_bytes` (temp file +
+  fsync + rename), so a kill mid-checkpoint leaves at worst a
+  truncated temp file, never a torn journal entry.  The ``torn_write``
+  fault channel simulates exactly that death to prove it.
+* **Run-key guard**: the journal records a :func:`run_key` digest of
+  the sweep's full parameterization.  Resuming with *any* different
+  parameter (seed, apps, rates, device, ...) mismatches the key and
+  the journal resets instead of serving stale shards.
+* **Corruption tolerance**: an unreadable or mislabeled entry is
+  treated as missing (the shard re-runs), mirroring the
+  ``load_report``/``load_database`` never-raise contract.
+* **Best-effort writes**: a failed checkpoint write degrades (the
+  shard re-runs on resume) rather than crashing the sweep; failures
+  are accounted in the :class:`~repro.parallel.ExecutionReport`.
+"""
+
+import hashlib
+import json
+import pathlib
+import pickle
+
+from repro.core.persistence import atomic_write_bytes, atomic_write_text
+from repro.faults.injector import InjectedFault
+from repro.parallel import parallel_map
+
+#: Journal layout version (bumped on incompatible changes; a mismatch
+#: resets the journal, never misreads it).
+JOURNAL_SCHEMA = 1
+
+
+def run_key(*parts):
+    """Digest a sweep's full parameterization into a stable run key.
+
+    Two runs share a journal only when every part matches — pass
+    everything that changes the output (experiment name, device name,
+    seed, grids, sizes, worker-visible knobs).
+    """
+    text = "|".join(str(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+class ShardJournal:
+    """A directory of completed-shard results keyed by shard id.
+
+    Parameters
+    ----------
+    directory: journal root (created on :meth:`open`).
+    key: the sweep's :func:`run_key`.
+    faults: optional :class:`~repro.faults.FaultInjector` whose
+        ``torn_write`` channel exercises the crash-atomic write path.
+    report: optional :class:`~repro.parallel.ExecutionReport` that
+        accounts checkpoint hits and torn writes.
+    """
+
+    def __init__(self, directory, key, faults=None, report=None):
+        self.directory = pathlib.Path(directory)
+        self.key = str(key)
+        self.faults = faults
+        self.report = report
+
+    # ------------------------------------------------------------ layout
+
+    @property
+    def manifest_path(self):
+        """Path of the run-key manifest file."""
+        return self.directory / "manifest.json"
+
+    @property
+    def shards_dir(self):
+        """Directory holding one pickle per completed shard."""
+        return self.directory / "shards"
+
+    def _entry_path(self, shard_key):
+        digest = hashlib.sha256(str(shard_key).encode("utf-8")).hexdigest()
+        return self.shards_dir / f"{digest[:32]}.pkl"
+
+    # --------------------------------------------------------- lifecycle
+
+    def open(self, resume=False):
+        """Prepare the journal; returns ``self``.
+
+        Without *resume* the journal always starts empty.  With it,
+        existing entries are kept only when the manifest's run key
+        matches this sweep's — a missing, corrupt, or mismatched
+        manifest resets the journal (stale shards must never leak into
+        a differently-parameterized run).
+        """
+        if resume and self._manifest_matches():
+            return self
+        self.clear()
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps({"schema": JOURNAL_SCHEMA, "run_key": self.key},
+                       indent=2) + "\n",
+        )
+        return self
+
+    def _manifest_matches(self):
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(payload, dict)
+            and payload.get("schema") == JOURNAL_SCHEMA
+            and payload.get("run_key") == self.key
+        )
+
+    def clear(self):
+        """Drop every journal entry and the manifest."""
+        if self.shards_dir.is_dir():
+            for path in self.shards_dir.iterdir():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        try:
+            self.manifest_path.unlink()
+        except OSError:
+            pass
+
+    # ----------------------------------------------------------- entries
+
+    def record(self, shard_key, value):
+        """Persist one completed shard; best-effort, never raises.
+
+        A write that dies mid-stream (injected ``torn_write`` or a
+        real I/O error) is dropped — the destination entry stays
+        absent or intact-old, and the shard simply re-runs on resume.
+        Returns True when the entry landed.
+        """
+        payload = pickle.dumps((str(shard_key), value),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            atomic_write_bytes(self._entry_path(shard_key), payload,
+                               faults=self.faults, label=str(shard_key))
+        except (InjectedFault, OSError, pickle.PicklingError) as error:
+            if self.report is not None:
+                self.report.torn_writes += 1
+                self.report.record(
+                    "torn-write",
+                    f"checkpoint for shard {shard_key!r} lost "
+                    f"({type(error).__name__})",
+                )
+            return False
+        return True
+
+    def load(self, shard_key):
+        """Fetch one shard's journaled result.
+
+        Returns ``(True, value)`` on a hit; ``(False, None)`` when the
+        entry is absent, unreadable, or labeled with a different shard
+        key (hash-collision paranoia) — all of which just mean "re-run
+        the shard".
+        """
+        path = self._entry_path(shard_key)
+        try:
+            stored_key, value = pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - any corruption means re-run
+            return False, None
+        if stored_key != str(shard_key):
+            return False, None
+        return True, value
+
+    def completed(self, shard_keys):
+        """The subset of *shard_keys* already journaled."""
+        return [key for key in shard_keys if self.load(key)[0]]
+
+
+def checkpointed_map(fn, items, keys, journal=None, **kwargs):
+    """:func:`~repro.parallel.parallel_map` with a shard journal.
+
+    *keys* names each item's journal entry (same length as *items*).
+    Journaled shards are restored without re-running; the rest execute
+    through the supervised pool and are journaled the moment each
+    completes (via the executor's ``on_result`` hook), so an
+    interrupted call resumes from its last completed shard.  Results
+    come back in submission order either way, so output is
+    byte-identical with, without, or across interrupted journals.
+
+    With ``journal=None`` this is exactly ``parallel_map(fn, items,
+    **kwargs)``.
+    """
+    items = list(items)
+    keys = [str(key) for key in keys]
+    if len(items) != len(keys):
+        raise ValueError(
+            f"need one key per item, got {len(keys)} keys for "
+            f"{len(items)} items"
+        )
+    if len(set(keys)) != len(keys):
+        raise ValueError("shard keys must be unique within one map")
+    if journal is None:
+        return parallel_map(fn, items, **kwargs)
+    results = {}
+    pending_items = []
+    pending_keys = []
+    for item, key in zip(items, keys):
+        hit, value = journal.load(key)
+        if hit:
+            results[key] = value
+        else:
+            pending_items.append(item)
+            pending_keys.append(key)
+    report = kwargs.get("report")
+    if report is not None and results:
+        report.checkpoint_hits += len(results)
+        report.record(
+            "checkpoint",
+            f"restored {len(results)}/{len(items)} shard(s) from "
+            f"{journal.directory}",
+        )
+
+    def journal_result(index, value):
+        journal.record(pending_keys[index], value)
+
+    fresh = parallel_map(fn, pending_items, on_result=journal_result,
+                         **kwargs)
+    for key, value in zip(pending_keys, fresh):
+        results[key] = value
+    return [results[key] for key in keys]

@@ -84,14 +84,31 @@ def cmd_scan(args):
               f"({op.caller_file}:{op.caller_line})")
 
 
+def _checkpoint_args(args):
+    """Validate and unpack the --checkpoint/--resume pair."""
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    return args.checkpoint, args.resume
+
+
+def _print_result(result, args):
+    """Render a sweep result, plus its execution report when verbose."""
+    print(result.render())
+    if getattr(args, "verbose", False) and result.execution is not None:
+        print()
+        print(result.execution.describe())
+
+
 def cmd_fleet(args):
     """Regenerate the Table 5 fleet study."""
     from repro.harness.exp_fleet import table5
 
+    checkpoint, resume = _checkpoint_args(args)
     result = table5(_device(args.device), seed=args.seed,
                     users=args.users, actions_per_user=args.actions,
-                    workers=args.workers)
-    print(result.render())
+                    workers=args.workers, checkpoint=checkpoint,
+                    resume=resume)
+    _print_result(result, args)
 
 
 def cmd_compare(args):
@@ -116,10 +133,12 @@ def cmd_chaos(args):
         rates = tuple(float(r) for r in args.rates.split(","))
         apps = tuple(args.apps.split(",")) if args.apps else None
         users, actions = args.users, args.actions
+    checkpoint, resume = _checkpoint_args(args)
     result = chaos_sweep(_device(args.device), seed=args.seed, rates=rates,
                          apps=apps, users=users, actions_per_user=actions,
-                         workers=args.workers)
-    print(result.render())
+                         workers=args.workers, checkpoint=checkpoint,
+                         resume=resume)
+    _print_result(result, args)
 
 
 def cmd_crowd(args):
@@ -134,11 +153,13 @@ def cmd_crowd(args):
         fleet_sizes = tuple(int(n) for n in args.fleet_sizes.split(","))
         apps = tuple(args.apps.split(",")) if args.apps else None
         rounds, actions = args.rounds, args.actions
+    checkpoint, resume = _checkpoint_args(args)
     result = crowd_sweep(_device(args.device), seed=args.seed,
                          fleet_sizes=fleet_sizes, rounds=rounds, apps=apps,
                          actions_per_round=actions,
-                         fault_rate=args.fault_rate, workers=args.workers)
-    print(result.render())
+                         fault_rate=args.fault_rate, workers=args.workers,
+                         checkpoint=checkpoint, resume=resume)
+    _print_result(result, args)
 
 
 def cmd_filter(args):
@@ -226,11 +247,27 @@ def build_parser():
         "(0 = one per CPU; results are identical for any count)"
     )
 
+    def add_checkpoint_flags(command):
+        """The supervised-execution trio shared by the long sweeps."""
+        command.add_argument(
+            "--checkpoint", default=None, metavar="DIR",
+            help="journal completed shards to DIR as they finish "
+                 "(crash-atomic; a killed run becomes resumable)")
+        command.add_argument(
+            "--resume", action="store_true",
+            help="skip shards already journaled in --checkpoint DIR; "
+                 "output is byte-identical to an uninterrupted run")
+        command.add_argument(
+            "--verbose", action="store_true",
+            help="print the execution report (retries, fallbacks, "
+                 "deadline hits, checkpoint hits) after the result")
+
     fleet = sub.add_parser("fleet", help="the Table 5 fleet study")
     fleet.add_argument("--users", type=int, default=4)
     fleet.add_argument("--actions", type=int, default=60)
     fleet.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
+    add_checkpoint_flags(fleet)
     fleet.set_defaults(func=cmd_fleet)
 
     compare = sub.add_parser("compare",
@@ -260,6 +297,7 @@ def build_parser():
                             "subcommand)")
     chaos.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
+    add_checkpoint_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     crowd = sub.add_parser(
@@ -286,6 +324,7 @@ def build_parser():
                             "subcommand)")
     crowd.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
+    add_checkpoint_flags(crowd)
     crowd.set_defaults(func=cmd_crowd)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")

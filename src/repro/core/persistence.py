@@ -17,15 +17,89 @@ malformed input (never a bare ``KeyError``/``TypeError``), and the
 at all — a corrupt or truncated state file (crash mid-write) falls
 back to fresh state with ``recovered_from_corruption`` set, because
 on-device monitoring must survive its own persistence failing.
+
+Writing is the dual half of that contract: every state write in the
+repo goes through :func:`atomic_write_text` /
+:func:`atomic_write_bytes` (temp file + ``fsync`` + ``os.replace``),
+so a crash mid-write can only ever lose the *new* state — the
+destination either holds the complete old payload or the complete new
+one, never a torn mixture.  The ``torn_write`` fault channel
+(:class:`~repro.faults.FaultPlan.torn_write_rate`) simulates dying
+mid-write to prove exactly that.
 """
 
 import json
+import os
+import pathlib
 
 from repro.core.blocking_db import BlockingApiDatabase
 from repro.core.report import DegradationRecord, HangBugReport, ReportEntry
 
 #: Wire-format version for forward compatibility.
 SCHEMA_VERSION = 1
+
+
+def atomic_write_bytes(path, data, faults=None, label=None):
+    """Crash-atomically write *data* to *path*.
+
+    The payload lands in a same-directory temp file, is fsynced, and
+    only then renamed over the destination — the two states a crash
+    can leave behind are "old file intact" and "new file complete".
+
+    A :class:`~repro.faults.FaultInjector` with a nonzero
+    ``torn_write_rate`` may simulate the crash: the temp file is left
+    truncated (the artifact a real mid-write death produces) and
+    :class:`~repro.faults.TornWriteError` raised *before* the rename,
+    leaving the destination untouched.  *label* keys that decision
+    (defaults to the file name) so it is deterministic regardless of
+    write order.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    if faults is not None and faults.torn_write_fault(
+        label if label is not None else path.name
+    ):
+        from repro.faults import TornWriteError
+
+        tmp.write_bytes(data[: len(data) // 2])
+        raise TornWriteError(
+            f"simulated crash mid-write of {path.name} (injected)"
+        )
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # A real failure mid-write: drop the partial temp file so it
+        # cannot be mistaken for state, then let the error propagate.
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text, faults=None, label=None):
+    """Crash-atomically write *text* (UTF-8) to *path*.
+
+    See :func:`atomic_write_bytes` for the atomicity contract and the
+    ``torn_write`` fault seam.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"), faults=faults,
+                       label=label)
+
+
+def save_report(path, report, faults=None):
+    """Crash-atomically persist a Hang Bug Report to *path*."""
+    atomic_write_text(path, report_to_json(report), faults=faults)
+
+
+def save_database(path, db, faults=None):
+    """Crash-atomically persist a blocking-API database to *path*."""
+    atomic_write_text(path, database_to_json(db), faults=faults)
 
 
 def _field(mapping, key, context):

@@ -26,6 +26,7 @@ from repro.crowd.store import (
     aggregator_from_json,
     aggregator_to_json,
     load_aggregator,
+    save_aggregator,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "aggregator_from_json",
     "aggregator_to_json",
     "load_aggregator",
+    "save_aggregator",
 ]

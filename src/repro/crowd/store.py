@@ -17,7 +17,7 @@ serialize byte-identically.
 
 import json
 
-from repro.core.persistence import SCHEMA_VERSION, _field
+from repro.core.persistence import SCHEMA_VERSION, _field, atomic_write_text
 from repro.crowd.aggregator import BugObservation, CrowdAggregator, ReportBatch
 
 #: Wire-format version of the crowd store.
@@ -52,6 +52,17 @@ def aggregator_to_json(aggregator):
         "schema": CROWD_SCHEMA_VERSION,
         "batches": batches,
     }, indent=2)
+
+
+def save_aggregator(path, aggregator, faults=None):
+    """Crash-atomically persist the crowd aggregator to *path*.
+
+    Uses :func:`repro.core.persistence.atomic_write_text` (temp file +
+    fsync + rename), so a crashed ingestion service restarts from the
+    last complete snapshot instead of the torn file
+    :func:`load_aggregator` would have to recover from.
+    """
+    atomic_write_text(path, aggregator_to_json(aggregator), faults=faults)
 
 
 def aggregator_from_json(text):

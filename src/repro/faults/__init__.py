@@ -14,6 +14,7 @@ from repro.faults.injector import (
     CounterUnavailableError,
     FaultInjector,
     InjectedFault,
+    TornWriteError,
     TraceCollectionError,
     TransientCounterError,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
+    "TornWriteError",
     "TraceCollectionError",
     "TransientCounterError",
 ]

@@ -42,6 +42,10 @@ class TraceCollectionError(InjectedFault):
     """Stack sampling was refused for one collection window."""
 
 
+class TornWriteError(InjectedFault):
+    """A state write died mid-stream, leaving a truncated temp file."""
+
+
 class FaultInjector:
     """Draws per-decision faults from seeded streams.
 
@@ -76,6 +80,25 @@ class FaultInjector:
         if rate <= 0.0:
             return False
         if self._draw(channel) < rate:
+            self.fired[channel] = self.fired.get(channel, 0) + 1
+            return True
+        return False
+
+    def _trip_keyed(self, channel, rate, keys):
+        """A *keyed* trip: the decision depends only on (seed, scope,
+        channel, keys), never on how many draws happened before it.
+
+        Sequential counters (:meth:`_trip`) are right for a single
+        in-order decision stream; the executor channels instead key
+        each decision by (shard, attempt) so the verdict is identical
+        no matter which worker asks, in what order, or how often other
+        channels fired.  Rate 0 never draws.
+        """
+        if rate <= 0.0:
+            return False
+        self.draws[channel] = self.draws.get(channel, 0) + 1
+        rng = stream(self.seed, "fault", *self.scope, channel, *keys)
+        if float(rng.random()) < rate:
             self.fired[channel] = self.fired.get(channel, 0) + 1
             return True
         return False
@@ -143,6 +166,33 @@ class FaultInjector:
     def delay_report_batch(self):
         """True when this report batch arrives one sync round late."""
         return self._trip("report-delay", self.plan.report_delay_rate)
+
+    # ----------------------------------------------------------- executor
+
+    def worker_kill_fault(self, shard, attempt):
+        """True when the worker running (*shard*, *attempt*) dies.
+
+        Keyed by (shard, attempt): the same run re-decides identically
+        for any worker count, and a retried shard draws a fresh
+        verdict instead of dying forever.
+        """
+        return self._trip_keyed("worker-kill", self.plan.worker_kill_rate,
+                                (shard, attempt))
+
+    def shard_stall_fault(self, shard, attempt):
+        """True when (*shard*, *attempt*) stalls for
+        ``plan.shard_stall_seconds`` before completing."""
+        return self._trip_keyed("shard-stall", self.plan.shard_stall_rate,
+                                (shard, attempt))
+
+    def torn_write_fault(self, label):
+        """True when the state write named *label* dies mid-stream.
+
+        Keyed by *label* so checkpoint writes decide identically
+        regardless of shard completion order.
+        """
+        return self._trip_keyed("torn-write", self.plan.torn_write_rate,
+                                (label,))
 
     # -------------------------------------------------------- persistence
 

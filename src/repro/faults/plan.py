@@ -54,6 +54,22 @@ class FaultPlan:
     #: (queued behind a dead radio), after the round's database was
     #: already published.
     report_delay_rate: float = 0.0
+    #: Per (shard, pool attempt): the worker process executing the
+    #: shard dies outright (OOM-killed, segfaulting native code) —
+    #: the pool breaks and the supervisor must re-run the shard.
+    worker_kill_rate: float = 0.0
+    #: Per (shard, pool attempt): the shard stalls past any deadline
+    #: (a livelocked worker); the supervisor must give up waiting and
+    #: re-run the shard in-process.
+    shard_stall_rate: float = 0.0
+    #: How long a stalled shard sleeps before completing anyway, in
+    #: seconds.  Pick a value above the supervisor's deadline to force
+    #: the deadline path, below it to model mere slowness.
+    shard_stall_seconds: float = 0.5
+    #: Per checkpoint/state write: the process dies mid-write, leaving
+    #: a truncated temp file.  A crash-atomic writer must leave the
+    #: destination untouched.
+    torn_write_rate: float = 0.0
 
     _RATE_FIELDS = (
         "counter_transient_rate",
@@ -65,6 +81,9 @@ class FaultPlan:
         "report_drop_rate",
         "report_duplicate_rate",
         "report_delay_rate",
+        "worker_kill_rate",
+        "shard_stall_rate",
+        "torn_write_rate",
     )
 
     @property
@@ -85,6 +104,11 @@ class FaultPlan:
                 "counter_undercount_factor must be in [0, 1), got "
                 f"{self.counter_undercount_factor}"
             )
+        if self.shard_stall_seconds <= 0.0:
+            raise ValueError(
+                "shard_stall_seconds must be > 0, got "
+                f"{self.shard_stall_seconds}"
+            )
         return self
 
     @classmethod
@@ -95,7 +119,11 @@ class FaultPlan:
         persistence corruption, and report-batch drops/duplicates/
         delays fire at *rate*; permanent counter death at ``rate / 4``
         (rarer in the field — one revocation kills the monitor for
-        good, so an equal rate would dominate the sweep).
+        good, so an equal rate would dominate the sweep).  The
+        executor-level channels (``worker_kill``/``shard_stall``/
+        ``torn_write``) stay at zero: they stress the *harness*, not
+        the monitored runtime, and belong in a plan handed to the
+        supervisor (see :func:`repro.parallel.parallel_map`).
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")

@@ -27,12 +27,13 @@ executions — the Figure 8 measurement machinery applied to the fleet
 sessions.
 """
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.analysis.metrics import ConfusionCounts, detected_bug_sites
 from repro.apps.catalog import get_app
 from repro.apps.sessions import SessionGenerator
+from repro.checkpoint import ShardJournal, checkpointed_map, run_key
 from repro.core.hang_doctor import HangDoctor
 from repro.core.persistence import load_report, report_to_json
 from repro.detectors.runner import DetectorRun, run_detector
@@ -40,7 +41,7 @@ from repro.faults import FaultPlan
 from repro.harness.exp_comparison import FIGURE8_APPS
 from repro.harness.exp_fleet import fleet_app_seed
 from repro.harness.tables import render_table
-from repro.parallel import parallel_map
+from repro.parallel import ExecutionReport
 from repro.sim.engine import ExecutionEngine
 
 #: Default fault-rate grid of the sweep.
@@ -84,6 +85,12 @@ class ChaosResult:
     cells: List[ChaosCell]
     rates: Tuple[float, ...]
     apps: Tuple[str, ...]
+    #: How the sweep actually executed (retries, fallbacks, checkpoint
+    #: hits); advisory only — never part of the rendered output, so
+    #: two runs with different reports still render byte-identically.
+    execution: Optional[ExecutionReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def merge(cls, parts):
@@ -215,21 +222,48 @@ def _chaos_cell(payload):
 
 
 def chaos_sweep(device, seed=0, rates=DEFAULT_RATES, apps=None, users=2,
-                actions_per_user=40, workers=1):
+                actions_per_user=40, workers=1, checkpoint=None,
+                resume=False, report=None, executor_faults=None):
     """Sweep fault rates over a fleet of apps; returns a ChaosResult.
 
-    ``workers`` shards the sweep per (rate, app) through
-    :func:`repro.parallel.parallel_map`; every cell is a pure function
-    of its payload, so any worker count yields byte-identical output.
+    ``workers`` shards the sweep per (rate, app) through the
+    supervised pool; every cell is a pure function of its payload, so
+    any worker count yields byte-identical output.  ``checkpoint``
+    names a journal directory where each completed cell is persisted
+    the moment it finishes; with ``resume`` a restarted sweep skips
+    the journaled cells, and the merged result is byte-identical to an
+    uninterrupted run.  ``report`` (an
+    :class:`~repro.parallel.ExecutionReport`) collects supervision
+    events — it is also attached to the result as ``execution``.
+    ``executor_faults`` is a :class:`~repro.faults.FaultInjector`
+    whose ``worker_kill``/``shard_stall`` channels stress the
+    supervisor itself.
     """
     apps = tuple(apps) if apps else CHAOS_APPS
     rates = tuple(rates)
     if not rates:
         raise ValueError("need at least one fault rate")
+    if report is None:
+        report = ExecutionReport()
     shards = [
         (device, seed, rate, app_name, users, actions_per_user)
         for rate in rates
         for app_name in apps
     ]
-    cells = parallel_map(_chaos_cell, shards, workers=workers)
-    return ChaosResult(cells=list(cells), rates=rates, apps=apps)
+    keys = [f"{rate!r}|{app_name}" for rate in rates for app_name in apps]
+    journal = None
+    if checkpoint is not None:
+        journal = ShardJournal(
+            checkpoint,
+            run_key("chaos", device.name, seed, rates, apps, users,
+                    actions_per_user),
+            faults=executor_faults,
+            report=report,
+        ).open(resume=resume)
+    elif resume:
+        raise ValueError("resume requires a checkpoint directory")
+    cells = checkpointed_map(_chaos_cell, shards, keys, journal,
+                             workers=workers, report=report,
+                             faults=executor_faults)
+    return ChaosResult(cells=list(cells), rates=rates, apps=apps,
+                       execution=report)

@@ -32,20 +32,21 @@ is monotone nonincreasing in fleet size: one device's diagnosis
 spares every other device the collection.
 """
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.analysis.metrics import detected_bug_sites
 from repro.apps.catalog import get_app
 from repro.apps.sessions import SessionGenerator
 from repro.base.rng import substream_seed
+from repro.checkpoint import ShardJournal, checkpointed_map, run_key
 from repro.core.blocking_db import BlockingApiDatabase
 from repro.core.hang_doctor import HangDoctor
 from repro.crowd import CrowdAggregator, CrowdKnowledge, ReportBatch
 from repro.detectors.runner import run_detector
 from repro.faults import FaultInjector, FaultPlan
 from repro.harness.tables import render_table
-from repro.parallel import parallel_map
+from repro.parallel import ExecutionReport
 from repro.sim.engine import ExecutionEngine
 
 #: Default fleet sizes of the sweep (devices per fleet).
@@ -190,6 +191,11 @@ class CrowdSweepResult:
     apps: Tuple[str, ...]
     rounds: int
     fault_rate: float
+    #: How the sweep actually executed (supervision events, checkpoint
+    #: hits); advisory — never part of the rendered output.
+    execution: Optional[ExecutionReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def merge(cls, parts):
@@ -294,11 +300,15 @@ def _ingest_round(aggregator, arrivals, new_results, faults, stats):
 
 
 def _run_fleet(device, seed, apps, fleet_size, rounds, actions, fault_rate,
-               workers, baseline):
+               workers, baseline, journal=None, report=None):
     """Deploy one crowd-synced fleet; returns its :class:`CrowdCell`.
 
     *baseline* maps (device_index, round_index) to the isolated
     :class:`CrowdDeviceRound` of the same device and sessions.
+    *journal* checkpoints each device round under a key naming
+    (fleet size, round, device) — safe even though rounds feed forward,
+    because the published knowledge entering round *n* is itself a
+    pure function of the sweep parameters already in the run key.
     """
     faults = None
     if fault_rate > 0.0:
@@ -327,8 +337,12 @@ def _run_fleet(device, seed, apps, fleet_size, rounds, actions, fault_rate,
              knowledge, db_names)
             for device_index in range(fleet_size)
         ]
-        results = parallel_map(_crowd_device_round, payloads,
-                               workers=workers)
+        keys = [
+            f"fleet{fleet_size}|r{round_index}|d{device_index}"
+            for device_index in range(fleet_size)
+        ]
+        results = checkpointed_map(_crowd_device_round, payloads, keys,
+                                   journal, workers=workers, report=report)
         for result in results:
             phase2 += result.phase2_collections
             shorts += result.kb_short_circuits
@@ -367,15 +381,20 @@ def _run_fleet(device, seed, apps, fleet_size, rounds, actions, fault_rate,
 
 
 def crowd_sweep(device, seed=0, fleet_sizes=DEFAULT_FLEET_SIZES, rounds=3,
-                apps=None, actions_per_round=40, fault_rate=0.0, workers=1):
+                apps=None, actions_per_round=40, fault_rate=0.0, workers=1,
+                checkpoint=None, resume=False, report=None):
     """Sweep fleet sizes; returns a :class:`CrowdSweepResult`.
 
-    ``workers`` shards the per-round device runs through
-    :func:`repro.parallel.parallel_map`; every device round is a pure
-    function of its payload and ingestion is order-independent, so any
-    worker count yields byte-identical output.  ``fault_rate`` drives
-    the upload-path fault seams (drop / duplicate / delay); rate 0
-    never draws from the fault streams.
+    ``workers`` shards the per-round device runs through the
+    supervised pool; every device round is a pure function of its
+    payload and ingestion is order-independent, so any worker count
+    yields byte-identical output.  ``fault_rate`` drives the
+    upload-path fault seams (drop / duplicate / delay); rate 0 never
+    draws from the fault streams.  ``checkpoint``/``resume`` journal
+    every completed device round (baseline and crowd-synced) so a
+    killed sweep restarts where it left off, byte-identically;
+    ``report`` collects supervision events (also attached to the
+    result as ``execution``).
     """
     apps = tuple(apps) if apps else CROWD_APPS
     fleet_sizes = tuple(fleet_sizes)
@@ -385,6 +404,18 @@ def crowd_sweep(device, seed=0, fleet_sizes=DEFAULT_FLEET_SIZES, rounds=3,
         raise ValueError(f"rounds must be >= 1, got {rounds}")
     if not 0.0 <= fault_rate <= 1.0:
         raise ValueError(f"fault_rate must be in [0, 1], got {fault_rate}")
+    if report is None:
+        report = ExecutionReport()
+    journal = None
+    if checkpoint is not None:
+        journal = ShardJournal(
+            checkpoint,
+            run_key("crowd", device.name, seed, fleet_sizes, rounds, apps,
+                    actions_per_round, fault_rate),
+            report=report,
+        ).open(resume=resume)
+    elif resume:
+        raise ValueError("resume requires a checkpoint directory")
     # Isolated-device baseline: the same (device, round) runs with no
     # crowd sync — knowledge empty, database as shipped.  Pure per
     # payload, so it shards freely.
@@ -394,18 +425,25 @@ def crowd_sweep(device, seed=0, fleet_sizes=DEFAULT_FLEET_SIZES, rounds=3,
         for device_index in range(max(fleet_sizes))
         for round_index in range(rounds)
     ]
-    base_results = parallel_map(_crowd_device_round, base_payloads,
-                                workers=workers)
+    base_keys = [
+        f"base|d{device_index}|r{round_index}"
+        for device_index in range(max(fleet_sizes))
+        for round_index in range(rounds)
+    ]
+    base_results = checkpointed_map(_crowd_device_round, base_payloads,
+                                    base_keys, journal, workers=workers,
+                                    report=report)
     baseline = {
         (result.device_index, result.round_index): result
         for result in base_results
     }
     cells = [
         _run_fleet(device, seed, apps, fleet_size, rounds,
-                   actions_per_round, fault_rate, workers, baseline)
+                   actions_per_round, fault_rate, workers, baseline,
+                   journal=journal, report=report)
         for fleet_size in fleet_sizes
     ]
     return CrowdSweepResult(
         cells=cells, fleet_sizes=fleet_sizes, apps=apps, rounds=rounds,
-        fault_rate=fault_rate,
+        fault_rate=fault_rate, execution=report,
     )

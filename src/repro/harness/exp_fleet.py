@@ -22,8 +22,8 @@ of worker count.
 """
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import detected_bug_sites
 from repro.apps.catalog import TABLE5_APPS
@@ -37,7 +37,8 @@ from repro.detectors.offline import OfflineScanner
 from repro.detectors.runner import run_detector
 from repro.harness.tables import render_table
 from repro.harness.training import validation_bug_cases
-from repro.parallel import chunk_indices, parallel_map, resolve_workers
+from repro.checkpoint import ShardJournal, checkpointed_map, run_key
+from repro.parallel import ExecutionReport, chunk_indices, resolve_workers
 from repro.sim.engine import ExecutionEngine
 from repro.sim.pmu import PmuSampler
 from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
@@ -80,6 +81,11 @@ class Table5Result:
     clean_apps_flagged: int
     #: Unknown blocking APIs added to the database at runtime.
     new_blocking_apis: List[str]
+    #: How the fleet run actually executed (supervision events,
+    #: checkpoint hits); advisory — never part of the rendered output.
+    execution: Optional[ExecutionReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def total_detected(self):
@@ -243,12 +249,19 @@ def _table5_shard(payload):
 
 
 def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
-           config=None, workers=1, blocking_names=None, crowd_kb=None):
+           config=None, workers=1, blocking_names=None, crowd_kb=None,
+           checkpoint=None, resume=False, report=None):
     """Reproduce Table 5's fleet study (scaled-down user base).
 
     ``workers`` shards the corpus across processes; any worker count
     yields byte-identical results (per-app seeds make every app's run
     independent of corpus position and shard assignment).
+    ``checkpoint``/``resume`` journal completed corpus shards so a
+    killed run restarts where it left off; shards are worker-count
+    slices, so a resume only reuses the journal when ``workers``
+    matches (anything else re-runs from scratch, never mixes slices).
+    ``report`` collects supervision events (also attached to the
+    result as ``execution``).
 
     The two crowd hooks run the fleet as crowd-synced devices instead
     of isolated ones: *blocking_names* pre-seeds every device's (and
@@ -258,16 +271,36 @@ def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
     *crowd_kb* (a :class:`~repro.crowd.CrowdKnowledge`) lets devices
     short-circuit fleet-diagnosed bugs without re-collecting traces.
     Defaults reproduce the paper's isolated deployment unchanged.
+    A crowd-synced run is never journaled: the knowledge snapshot is
+    not part of the run key, so stale shards could not be detected.
     """
     if blocking_names is not None:
         blocking_names = tuple(sorted(blocking_names))
+    if report is None:
+        report = ExecutionReport()
+    slices = chunk_indices(corpus_size, resolve_workers(workers))
     shards = [
         (device, seed, users, actions_per_user, corpus_size, config, indices,
          blocking_names, crowd_kb)
-        for indices in chunk_indices(corpus_size, resolve_workers(workers))
+        for indices in slices
     ]
-    parts = parallel_map(_table5_shard, shards, workers=workers)
-    return Table5Result.merge(parts)
+    keys = [f"t5|{indices[0]}-{indices[-1]}" for indices in slices]
+    journal = None
+    if checkpoint is not None and crowd_kb is None:
+        journal = ShardJournal(
+            checkpoint,
+            run_key("table5", device.name, seed, users, actions_per_user,
+                    corpus_size, repr(config), blocking_names,
+                    resolve_workers(workers)),
+            report=report,
+        ).open(resume=resume)
+    elif resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint directory")
+    parts = checkpointed_map(_table5_shard, shards, keys, journal,
+                             workers=workers, report=report)
+    result = Table5Result.merge(parts)
+    result.execution = report
+    return result
 
 
 @dataclass

@@ -17,18 +17,20 @@ back via :meth:`StabilityResult.merge` in seed order, keeping the
 output identical to a serial sweep.
 """
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.correlation import correlate, ranked_events
 from repro.analysis.thresholds import fit_filter
+from repro.checkpoint import ShardJournal, checkpointed_map, run_key
 from repro.harness.exp_comparison import figure8
 from repro.harness.exp_fleet import table5
 from repro.harness.exp_filter import training_samples
 from repro.harness.tables import render_table
-from repro.parallel import parallel_map
+from repro.parallel import ExecutionReport, parallel_map
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,11 @@ class StabilityResult:
     #: metric name -> list of per-seed values.
     metrics: Dict[str, List[float]]
     seeds: Tuple[int, ...]
+    #: How the sweep actually executed (supervision events, checkpoint
+    #: hits); advisory — never part of the rendered output.
+    execution: Optional[ExecutionReport] = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def merge(cls, parts):
@@ -103,15 +110,34 @@ def _fleet_stability_shard(payload):
 
 
 def fleet_stability(device, seeds=(3, 7, 13), users=3,
-                    actions_per_user=60, corpus_size=114, workers=1):
-    """Table 5's totals across seeds."""
+                    actions_per_user=60, corpus_size=114, workers=1,
+                    checkpoint=None, resume=False, report=None):
+    """Table 5's totals across seeds.
+
+    ``checkpoint``/``resume`` journal each seed's completed shard so a
+    killed sweep restarts where it left off, byte-identically.
+    """
+    if report is None:
+        report = ExecutionReport()
     shards = [
         (device, seed, users, actions_per_user, corpus_size)
         for seed in seeds
     ]
-    return StabilityResult.merge(
-        parallel_map(_fleet_stability_shard, shards, workers=workers)
-    )
+    journal = None
+    if checkpoint is not None:
+        journal = ShardJournal(
+            checkpoint,
+            run_key("stability", device.name, tuple(seeds), users,
+                    actions_per_user, corpus_size),
+            report=report,
+        ).open(resume=resume)
+    elif resume:
+        raise ValueError("resume requires a checkpoint directory")
+    result = StabilityResult.merge(checkpointed_map(
+        _fleet_stability_shard, shards, [f"seed|{s}" for s in seeds],
+        journal, workers=workers, report=report,
+    ))
+    return dataclasses.replace(result, execution=report)
 
 
 def _comparison_stability_shard(payload):

@@ -9,6 +9,7 @@ suite archives, callable from scripts and from
 import pathlib
 import time
 
+from repro.core.persistence import atomic_write_text
 from repro.harness import (
     exp_casestudy,
     exp_comparison,
@@ -63,7 +64,9 @@ def generate_all(device, out_dir, seed=0, progress=None, workers=1):
         started = time.perf_counter()
         result = runner(device, seed, workers)
         text = result.render()
-        (out_path / f"{name}.txt").write_text(text + "\n")
+        # Crash-atomic so an interrupted reproduction never leaves a
+        # half-written artifact to be diffed against.
+        atomic_write_text(out_path / f"{name}.txt", text + "\n")
         rendered[name] = text
         if progress is not None:
             progress(name, time.perf_counter() - started)

@@ -9,19 +9,25 @@ can run on any worker in any order and merge back into the exact
 result a serial run produces.
 
 :func:`parallel_map` is the one primitive: an ordered map over work
-items that shards across a :class:`concurrent.futures.
-ProcessPoolExecutor` and degrades gracefully to in-process execution
-when ``workers=1``, when the work is too small to shard, or when the
+items that shards across a supervised
+:class:`concurrent.futures.ProcessPoolExecutor` — per-shard deadlines,
+bounded retry after worker crashes, in-process re-runs as the last
+resort — and degrades gracefully to in-process execution when
+``workers=1``, when the work is too small to shard, or when the
 payload cannot cross a process boundary (non-picklable configs).
+Every degradation is accounted in an :class:`ExecutionReport` instead
+of happening silently.
 """
 
 from repro.parallel.executor import (
+    ExecutionReport,
     chunk_indices,
     parallel_map,
     resolve_workers,
 )
 
 __all__ = [
+    "ExecutionReport",
     "chunk_indices",
     "parallel_map",
     "resolve_workers",

@@ -1,45 +1,166 @@
-"""The worker-pool primitive behind every ``--workers`` flag.
+"""The supervised worker-pool primitive behind every ``--workers`` flag.
 
 Experiments submit *shards* — small picklable descriptions of a slice
 of work — to :func:`parallel_map` together with a module-level shard
 function.  Results come back in submission order, so callers can merge
 them deterministically regardless of which worker finished first.
 
-Fallback policy: correctness never depends on the pool.  Anything that
-prevents process-level execution (a single worker, one-item inputs, a
-payload that cannot be pickled, a sandbox that forbids subprocesses, a
-pool whose workers died) silently downgrades to a plain in-process
-loop over the same shard function, which by construction yields the
-identical result.  Exceptions raised *by the shard function itself*
-are real errors and always propagate: workers catch them and ship
-them back tagged in a :class:`_ShardFailure` sentinel, so the parent
-re-raises the original exception and never mistakes it for pool
-infrastructure failing (nor vice versa — anything the pool machinery
-itself raises is, by construction, infrastructure).
+Supervision policy: correctness never depends on the pool, and no pool
+failure is silent.  The supervisor runs each shard as its own future
+and watches three failure classes:
+
+* **Worker crashes** (a dead process breaks the whole
+  :class:`~concurrent.futures.process.BrokenProcessPool`): finished
+  results are kept, the pool is rebuilt after an exponential backoff,
+  and only the unfinished shards are re-submitted — up to *retries*
+  times, after which the stragglers run in-process.
+* **Deadlines** (*deadline* seconds of waiting per shard): a shard
+  that stalls past its deadline is abandoned to the pool and re-run
+  in-process, so one livelocked worker cannot wedge the sweep.
+* **Pool unavailability** (pickling, subprocess limits, sandboxes):
+  the whole call degrades to the in-process loop.
+
+Every one of those decisions is recorded in an
+:class:`ExecutionReport` — retries, crashes, deadline hits, fallbacks
+— which experiments surface through their results (``--verbose`` on
+the CLI) instead of the old silent downgrade.  Because shard functions
+are pure, a shard re-run in-process or on a fresh pool returns the
+byte-identical result, so supervision never changes experiment output.
+
+Exceptions raised *by the shard function itself* are real errors and
+always propagate: workers catch them and ship them back tagged in a
+:class:`_ShardFailure` sentinel, so the parent re-raises the original
+exception of the earliest failing shard (in submission order, for any
+completion order) and never mistakes it for pool infrastructure
+failing — nor vice versa: anything the pool machinery itself raises
+is, by construction, infrastructure.
+
+A :class:`~repro.faults.FaultInjector` whose plan enables the
+``worker_kill`` / ``shard_stall`` channels exercises the supervisor
+deterministically: kill and stall verdicts are keyed by
+(shard, attempt), so they reproduce for any worker count, and the
+in-process last resort never injects — the escape hatch stays safe.
 """
 
-import functools
+import multiprocessing
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import List
+
+#: Exit status an injected worker kill dies with (visible in the
+#: pool's stderr noise; any nonzero status breaks the pool the same).
+KILLED_EXIT_CODE = 87
+
+
+@dataclass
+class ExecutionReport:
+    """Structured account of how a supervised run actually executed.
+
+    All counters stay zero on a clean run; nothing here ever feeds
+    back into shard results, so two runs with different reports still
+    produce byte-identical experiment output.
+    """
+
+    #: Shards submitted across all :func:`parallel_map` calls sharing
+    #: this report.
+    shards: int = 0
+    #: Process pools created (1 on a clean parallel run).
+    pool_attempts: int = 0
+    #: Pool breakages observed (each one means >= 1 worker died).
+    worker_crashes: int = 0
+    #: Shards re-submitted to a rebuilt pool after a crash.
+    shard_retries: int = 0
+    #: Shards whose result wait exceeded the deadline.
+    deadline_hits: int = 0
+    #: Shards re-run in-process as the last resort.
+    in_process_shards: int = 0
+    #: Whole calls that wanted a pool but had to run serially.
+    serial_fallbacks: int = 0
+    #: Shards restored from a checkpoint journal instead of re-run.
+    checkpoint_hits: int = 0
+    #: Checkpoint writes that died mid-stream (torn; journal entry
+    #: discarded, shard re-runs on resume).
+    torn_writes: int = 0
+    #: Human-readable event log, in occurrence order.
+    events: List[str] = field(default_factory=list)
+
+    def record(self, kind, detail=""):
+        """Append one event to the log."""
+        self.events.append(f"{kind}: {detail}" if detail else kind)
+
+    @property
+    def degraded(self):
+        """True when anything other than clean pool execution happened."""
+        return bool(
+            self.worker_crashes or self.deadline_hits
+            or self.in_process_shards or self.serial_fallbacks
+            or self.torn_writes
+        )
+
+    def merge(self, other):
+        """Fold another report's counters and events into this one."""
+        self.shards += other.shards
+        self.pool_attempts += other.pool_attempts
+        self.worker_crashes += other.worker_crashes
+        self.shard_retries += other.shard_retries
+        self.deadline_hits += other.deadline_hits
+        self.in_process_shards += other.in_process_shards
+        self.serial_fallbacks += other.serial_fallbacks
+        self.checkpoint_hits += other.checkpoint_hits
+        self.torn_writes += other.torn_writes
+        self.events.extend(other.events)
+        return self
+
+    def describe(self):
+        """Multi-line summary (the ``--verbose`` CLI output)."""
+        lines = [
+            f"execution: {self.shards} shard(s), "
+            f"{self.pool_attempts} pool attempt(s)"
+            + (", clean" if not self.degraded else ""),
+        ]
+        counters = (
+            ("worker crashes", self.worker_crashes),
+            ("shard retries", self.shard_retries),
+            ("deadline hits", self.deadline_hits),
+            ("in-process re-runs", self.in_process_shards),
+            ("serial fallbacks", self.serial_fallbacks),
+            ("checkpoint hits", self.checkpoint_hits),
+            ("torn checkpoint writes", self.torn_writes),
+        )
+        for name, value in counters:
+            if value:
+                lines.append(f"  {name}: {value}")
+        for event in self.events:
+            lines.append(f"  - {event}")
+        return "\n".join(lines)
 
 
 def resolve_workers(workers):
     """Normalize a ``--workers`` value to a positive worker count.
 
     ``None`` and ``0`` both mean "one worker per CPU"; any positive
-    int is used as-is; negative counts are rejected.
+    int (or int-convertible string) is used as-is; negative and
+    non-integer counts are rejected.
     """
     if workers is None or workers == 0:
         return os.cpu_count() or 1
-    workers = int(workers)
-    if workers < 0:
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(f"workers must be an integer, got {workers!r}")
+    if count != float(workers):
+        raise ValueError(f"workers must be an integer, got {workers!r}")
+    if count < 0:
         raise ValueError(
             f"workers must be >= 0 (0 or None = one worker per CPU), "
-            f"got {workers}"
+            f"got {count}"
         )
-    return workers
+    return count
 
 
 def chunk_indices(count, chunks):
@@ -77,8 +198,8 @@ class _ShardFailure:
 
     Workers return this instead of raising, which keeps the two error
     classes apart by *type*: a shard-function exception crosses the
-    process boundary inside a sentinel, while anything raised by
-    ``pool.map`` itself is pool infrastructure.  (The old scheme
+    process boundary inside a sentinel, while anything raised by the
+    pool machinery itself is infrastructure.  (The old scheme
     string-matched RuntimeError messages for "process"/"fork"/... and
     swallowed shard RuntimeErrors that happened to mention those
     words.)
@@ -98,33 +219,181 @@ def _guarded(fn, item):
         return _ShardFailure(error)
 
 
-def parallel_map(fn, items, workers=1, chunksize=1):
-    """Ordered ``[fn(item) for item in items]`` over a process pool.
+def _supervised(fn, item, shard, attempt, faults):
+    """Worker-side shard entry: inject executor faults, then run.
 
-    *fn* must be a module-level callable for process execution; the
-    in-process fallback has no such restriction.  Worker exceptions
-    propagate to the caller; infrastructure failures (pickling, pool
-    breakage, subprocess limits) fall back to the serial loop.
+    Kill/stall verdicts are keyed by (shard, attempt) so they are
+    identical for any worker count and completion order; the kill only
+    fires inside a real worker process — the in-process last resort
+    must never take the parent down with it.
     """
-    items = list(items)
-    workers = resolve_workers(workers)
-    if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    if not _picklable((fn, items)):
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            results = list(pool.map(
-                functools.partial(_guarded, fn), items, chunksize=chunksize
-            ))
-    except (BrokenProcessPool, OSError, PermissionError, RuntimeError):
-        # Shard-function exceptions never escape pool.map (they come
-        # back as _ShardFailure values), so whatever raised here is the
-        # pool itself: no semaphores, no fork support, dead workers.
-        # The serial loop reproduces the result — or the error — with
-        # no pool in the way.
-        return [fn(item) for item in items]
+    if faults is not None and multiprocessing.parent_process() is not None:
+        if faults.worker_kill_fault(shard, attempt):
+            os._exit(KILLED_EXIT_CODE)
+        if faults.shard_stall_fault(shard, attempt):
+            time.sleep(faults.plan.shard_stall_seconds)
+    return _guarded(fn, item)
+
+
+def _serial(fn, items, on_result=None):
+    """The in-process reference loop (also the correctness oracle)."""
+    results = []
+    for index, item in enumerate(items):
+        value = _guarded(fn, item)
+        if on_result is not None and not isinstance(value, _ShardFailure):
+            on_result(index, value)
+        results.append(value)
+    return results
+
+
+def _raise_first_failure(results):
+    """Re-raise the earliest shard error in submission order."""
     for result in results:
         if isinstance(result, _ShardFailure):
             raise result.error
     return results
+
+
+def _collect(results, index, value, on_result):
+    """Store one shard result, notifying *on_result* the first time."""
+    results[index] = value
+    if on_result is not None and not isinstance(value, _ShardFailure):
+        on_result(index, value)
+
+
+def _drain(futures, results, deadline, report, on_result):
+    """Collect finished futures; classify timeouts and pool breakage.
+
+    Returns ``(stalled, crashed)`` index lists: *stalled* shards blew
+    their deadline (they re-run in-process — a stalled shard would
+    stall again on a fresh pool, its verdict being a pure function of
+    the shard), *crashed* shards died with the pool (they retry on a
+    rebuilt one).
+    """
+    stalled = []
+    crashed = []
+    broken = False
+    for index in sorted(futures):
+        future = futures[index]
+        try:
+            # After a pool break every unfinished future fails fast,
+            # so skipping the wait just avoids a pointless deadline.
+            timeout = 0 if broken else deadline
+            _collect(results, index, future.result(timeout=timeout),
+                     on_result)
+        except FutureTimeoutError:
+            if broken:
+                crashed.append(index)
+                continue
+            report.deadline_hits += 1
+            report.record("deadline", f"shard {index} exceeded "
+                          f"{deadline:g}s; re-running in-process")
+            stalled.append(index)
+        except BrokenProcessPool:
+            if not broken:
+                broken = True
+                report.worker_crashes += 1
+                report.record("worker-crash",
+                              f"pool broke waiting on shard {index}")
+            crashed.append(index)
+    return stalled, crashed
+
+
+def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
+                 retries=2, backoff=0.05, faults=None, report=None,
+                 on_result=None):
+    """Ordered ``[fn(item) for item in items]`` over a supervised pool.
+
+    *fn* must be a module-level callable for process execution; the
+    in-process paths have no such restriction.  Worker exceptions
+    propagate to the caller (earliest failing shard first);
+    infrastructure failures are supervised per the module docstring
+    and accounted in *report* (an :class:`ExecutionReport`).
+
+    Parameters beyond the classic four: *deadline* is the per-shard
+    result wait in seconds (``None`` = wait forever); *retries* bounds
+    pool rebuilds after crashes; *backoff* seeds the exponential sleep
+    between rebuilds; *faults* is a :class:`~repro.faults.FaultInjector`
+    whose ``worker_kill``/``shard_stall`` channels exercise the
+    supervisor.  *chunksize* is accepted for backward compatibility
+    and ignored — supervision needs per-shard futures.
+
+    *on_result(index, value)* fires the first time each shard's result
+    is collected, in whatever order shards actually complete — the
+    hook checkpoint journals use to persist progress incrementally, so
+    a kill mid-run only loses in-flight shards.
+    """
+    del chunksize  # per-shard submission supersedes chunked map
+    items = list(items)
+    workers = resolve_workers(workers)
+    if report is None:
+        report = ExecutionReport()
+    report.shards += len(items)
+    if workers <= 1 or len(items) <= 1:
+        return _raise_first_failure(_serial(fn, items, on_result))
+    if not _picklable((fn, items, faults)):
+        report.serial_fallbacks += 1
+        report.record("serial-fallback", "payload not picklable")
+        return _raise_first_failure(_serial(fn, items, on_result))
+
+    results = {}
+    pending = list(range(len(items)))
+    stalled = []
+    attempt = 0
+    while pending and attempt <= retries:
+        if attempt:
+            report.shard_retries += len(pending)
+            time.sleep(backoff * (2 ** (attempt - 1)))
+        report.pool_attempts += 1
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            )
+        except (OSError, PermissionError, RuntimeError) as error:
+            # The pool never came up (no fork support, subprocess
+            # limits, sandboxing) — nothing was partially executed, so
+            # the serial loop is the clean degradation.
+            report.serial_fallbacks += 1
+            report.record(
+                "serial-fallback",
+                f"pool unavailable ({type(error).__name__}: {error})",
+            )
+            for index in pending:
+                _collect(results, index, _guarded(fn, items[index]),
+                         on_result)
+            pending = []
+            break
+        futures = {}
+        unsubmitted = []
+        for index in pending:
+            try:
+                futures[index] = pool.submit(_supervised, fn, items[index],
+                                             index, attempt, faults)
+            except BrokenProcessPool:
+                # A worker died while we were still submitting; the
+                # rest of this batch retries on the rebuilt pool.
+                unsubmitted = [i for i in pending if i not in futures]
+                report.worker_crashes += 1
+                report.record("worker-crash", "pool broke during submission")
+                break
+        timed_out, crashed = _drain(futures, results, deadline, report,
+                                    on_result)
+        stalled.extend(timed_out)
+        pending = crashed + unsubmitted
+        # Never block on a stalled worker: abandoned shards keep their
+        # process busy until the sleep/livelock ends, and the
+        # supervisor has already moved on.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        attempt += 1
+
+    for index in pending + stalled:
+        # Last resort: the pool kept dying or the shard kept stalling.
+        # Shard functions are pure, so the in-process run returns the
+        # byte-identical result; executor faults are not injected here
+        # (the escape hatch must always terminate).
+        if index in pending:
+            report.record("in-process", f"shard {index} after "
+                          f"{retries + 1} pool attempt(s)")
+        report.in_process_shards += 1
+        _collect(results, index, _guarded(fn, items[index]), on_result)
+    return _raise_first_failure([results[i] for i in range(len(items))])

@@ -85,3 +85,34 @@ def test_cli_chaos_quick_is_deterministic(capsys):
     assert first == second
     assert "Chaos sweep" in first
     assert "degradation at rate" in first
+
+
+def test_cli_chaos_checkpoint_resume_is_byte_identical(capsys, tmp_path):
+    """The README resume quickstart, end to end: a checkpointed run,
+    then a resumed one, both render exactly the plain run's bytes."""
+    assert main(["chaos", "--quick", "--seed", "0"]) == 0
+    plain = capsys.readouterr().out
+    ckpt = str(tmp_path / "ckpt")
+    assert main(["chaos", "--quick", "--seed", "0",
+                 "--checkpoint", ckpt]) == 0
+    assert capsys.readouterr().out == plain
+    assert main(["chaos", "--quick", "--seed", "0",
+                 "--checkpoint", ckpt, "--resume"]) == 0
+    assert capsys.readouterr().out == plain
+
+
+def test_cli_chaos_verbose_reports_execution(capsys, tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    assert main(["chaos", "--quick", "--seed", "0",
+                 "--checkpoint", ckpt, "--verbose"]) == 0
+    assert "execution:" in capsys.readouterr().out
+    assert main(["chaos", "--quick", "--seed", "0",
+                 "--checkpoint", ckpt, "--resume", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint hits: 4" in out
+    assert "restored 4/4 shard(s)" in out
+
+
+def test_cli_resume_without_checkpoint_rejected():
+    with pytest.raises(SystemExit, match="--resume requires"):
+        main(["chaos", "--quick", "--resume"])

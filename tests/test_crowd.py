@@ -416,3 +416,35 @@ def test_table5_accepts_crowd_synced_database(device, k9):
     )
     assert len(synced.new_blocking_apis) <= len(plain.new_blocking_apis)
     assert synced.total_detected >= plain.total_detected
+
+
+# ---------------------------------------------------- atomic snapshots
+
+
+def test_save_aggregator_snapshot_round_trips(tmp_path):
+    from repro.crowd import save_aggregator
+
+    aggregator = CrowdAggregator()
+    for batch in make_batches(3):
+        aggregator.ingest(batch)
+    path = tmp_path / "crowd.json"
+    save_aggregator(path, aggregator)
+    restored = load_aggregator(path.read_text())
+    assert aggregator_to_json(restored) == aggregator_to_json(aggregator)
+    assert list(path.parent.iterdir()) == [path]  # temp file cleaned up
+
+
+def test_save_aggregator_torn_write_keeps_last_snapshot(tmp_path):
+    from repro.crowd import save_aggregator
+    from repro.faults import FaultInjector, FaultPlan, TornWriteError
+
+    aggregator = CrowdAggregator()
+    aggregator.ingest(make_batches(1)[0])
+    path = tmp_path / "crowd.json"
+    save_aggregator(path, aggregator)
+    good = path.read_text()
+    aggregator.ingest(make_batches(2)[1])
+    injector = FaultInjector(FaultPlan(torn_write_rate=1.0), seed=0)
+    with pytest.raises(TornWriteError):
+        save_aggregator(path, aggregator, faults=injector)
+    assert path.read_text() == good  # crash kept the complete snapshot

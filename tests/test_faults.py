@@ -341,3 +341,68 @@ def test_uniform_plan_covers_report_channels():
     assert plan.report_duplicate_rate == 0.25
     assert plan.report_delay_rate == 0.25
     assert "report_drop=0.25" in plan.describe()
+
+
+# --------------------------------------------------- executor channels
+
+
+def test_plan_validates_executor_rates():
+    with pytest.raises(ValueError, match="worker_kill_rate"):
+        FaultPlan(worker_kill_rate=1.5).validate()
+    with pytest.raises(ValueError, match="shard_stall_rate"):
+        FaultPlan(shard_stall_rate=-0.1).validate()
+    with pytest.raises(ValueError, match="torn_write_rate"):
+        FaultPlan(torn_write_rate=2.0).validate()
+    with pytest.raises(ValueError, match="shard_stall_seconds"):
+        FaultPlan(shard_stall_seconds=0.0).validate()
+
+
+def test_uniform_plan_keeps_executor_channels_off():
+    """FaultPlan.uniform scales the *runtime's* fault surface; the
+    executor channels stress the experiment harness itself and are
+    only ever opted into explicitly — a chaos sweep at rate r must
+    not also randomly kill its own workers."""
+    plan = FaultPlan.uniform(0.8)
+    assert plan.worker_kill_rate == 0.0
+    assert plan.shard_stall_rate == 0.0
+    assert plan.torn_write_rate == 0.0
+
+
+def test_executor_channels_never_draw_at_rate_zero():
+    injector = FaultInjector(FaultPlan(), seed=0)
+    for shard in range(20):
+        assert not injector.worker_kill_fault(shard, 0)
+        assert not injector.shard_stall_fault(shard, 0)
+    assert not injector.torn_write_fault("entry")
+    assert injector.draws == {}
+    assert injector.fired_total() == 0
+
+
+def test_keyed_draws_independent_of_call_order():
+    """The property that makes executor faults worker-count-proof:
+    each (shard, attempt) verdict depends only on its key, never on
+    how many other draws happened first."""
+    plan = FaultPlan(worker_kill_rate=0.4, shard_stall_rate=0.4)
+    forward = FaultInjector(plan, seed=11)
+    backward = FaultInjector(plan, seed=11)
+    shards = list(range(30))
+    verdicts_fwd = [forward.worker_kill_fault(s, 0) for s in shards]
+    # Interleave other channels and reverse the order on the second
+    # injector; per-shard verdicts must not move.
+    verdicts_bwd = []
+    for s in reversed(shards):
+        backward.shard_stall_fault(s, 1)
+        verdicts_bwd.append(backward.worker_kill_fault(s, 0))
+    assert verdicts_bwd[::-1] == verdicts_fwd
+    assert any(verdicts_fwd) and not all(verdicts_fwd)
+
+
+def test_retried_shard_draws_a_fresh_kill_verdict():
+    """A shard killed on attempt 0 is keyed differently on attempt 1,
+    so a sub-1.0 kill rate cannot loop a shard forever."""
+    injector = FaultInjector(FaultPlan(worker_kill_rate=0.5), seed=1)
+    verdicts = [
+        [injector.worker_kill_fault(shard, attempt) for attempt in range(4)]
+        for shard in range(20)
+    ]
+    assert any(row[0] and not row[1] for row in verdicts)

@@ -1,12 +1,16 @@
 """The parallel experiment runner and its equivalence guarantees.
 
-Covers the executor primitive itself, the per-app seed derivation of
-the fleet study, the explicit merge paths on experiment results, and
-the headline guarantee: sharding an experiment across worker
-processes changes nothing about its output.
+Covers the executor primitive itself, the supervisor's failure paths
+(worker crashes, deadlines, in-process last resort), the per-app seed
+derivation of the fleet study, the explicit merge paths on experiment
+results, and the headline guarantee: sharding an experiment across
+worker processes changes nothing about its output.
 """
 
 import math
+import multiprocessing
+import os
+import time
 
 import pytest
 
@@ -24,7 +28,12 @@ from repro.harness.exp_fleet import (
     table5,
 )
 from repro.harness.exp_stability import StabilityResult, fleet_stability
-from repro.parallel import chunk_indices, parallel_map, resolve_workers
+from repro.parallel import (
+    ExecutionReport,
+    chunk_indices,
+    parallel_map,
+    resolve_workers,
+)
 from repro.sim.engine import ExecutionEngine
 
 
@@ -93,6 +102,116 @@ def test_parallel_map_propagates_processy_shard_errors():
     propagates no matter what its message says."""
     with pytest.raises(RuntimeError, match="could not fork item"):
         parallel_map(_boom_processy, [1, 2], workers=2)
+
+
+def test_resolve_workers_rejects_non_integers():
+    assert resolve_workers("3") == 3
+    for bad in ("x", 2.5, [2]):
+        with pytest.raises((ValueError, TypeError)):
+            resolve_workers(bad)
+
+
+def test_parallel_map_workers_exceeding_item_count():
+    assert parallel_map(_square, [7], workers=8) == [49]
+    assert parallel_map(_square, [], workers=4) == []
+
+
+# --------------------------------------------------------- supervision
+
+
+def _die_in_worker(x):
+    """Crash the hosting process — but only when it *is* a worker, so
+    the supervisor's in-process last resort completes the shard."""
+    if x == 13 and multiprocessing.parent_process() is not None:
+        os._exit(87)
+    return x * x
+
+
+def _stall_in_worker(x):
+    """Outlive any sane deadline — in a worker; instant in-process."""
+    if x == 2 and multiprocessing.parent_process() is not None:
+        time.sleep(60.0)
+    return x * x
+
+
+def _ordered_boom(x):
+    """Item 0's failure finishes *last* so out-of-order completion is
+    exercised; the supervisor must still raise item 0's error."""
+    if x == 0:
+        time.sleep(0.3)
+    raise ValueError(f"boom {x}")
+
+
+def test_supervisor_recovers_from_worker_crash():
+    """A worker taken down by SIGKILL-equivalent (os._exit) breaks the
+    pool; the supervisor rebuilds it, retries the surviving shards,
+    and completes the persistently-crashing one in-process.  Results
+    are byte-identical to a clean run and the report says what
+    happened instead of downgrading silently."""
+    items = list(range(20))
+    expected = [x * x for x in items]
+    report = ExecutionReport()
+    result = parallel_map(_die_in_worker, items, workers=4, report=report)
+    assert result == expected
+    assert report.worker_crashes >= 1
+    assert report.in_process_shards >= 1
+    assert report.pool_attempts >= 2
+    assert report.degraded
+    assert any("crash" in event for event in report.events)
+
+
+def test_supervisor_deadline_reruns_stalled_shard_in_process():
+    items = list(range(4))
+    report = ExecutionReport()
+    result = parallel_map(_stall_in_worker, items, workers=2,
+                          deadline=1.0, report=report)
+    assert result == [x * x for x in items]
+    assert report.deadline_hits >= 1
+    assert report.in_process_shards >= 1
+    assert report.degraded
+
+
+def test_shard_failure_raised_in_submission_order():
+    """When several shards fail, the *first submitted* failure wins
+    even when a later shard's error arrives earlier."""
+    with pytest.raises(ValueError, match="boom 0"):
+        parallel_map(_ordered_boom, [0, 1, 2], workers=3)
+
+
+def test_serial_fallback_is_reported_not_silent():
+    closure = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+    report = ExecutionReport()
+    assert parallel_map(closure, [1, 2], workers=2, report=report) == [2, 3]
+    assert report.serial_fallbacks == 1
+    assert report.degraded
+    assert any("serial" in event for event in report.events)
+
+
+def test_on_result_hook_fires_per_shard_with_original_index():
+    seen = {}
+    parallel_map(_square, [3, 4, 5], workers=2,
+                 on_result=lambda i, v: seen.setdefault(i, v))
+    assert seen == {0: 9, 1: 16, 2: 25}
+    seen.clear()
+    parallel_map(_square, [3, 4], workers=1,
+                 on_result=lambda i, v: seen.setdefault(i, v))
+    assert seen == {0: 9, 1: 16}
+
+
+def test_execution_report_merge_and_describe():
+    clean = ExecutionReport()
+    assert not clean.degraded
+    assert "clean" in clean.describe()
+    other = ExecutionReport(shards=3, worker_crashes=1, checkpoint_hits=2,
+                            events=["worker-crash: pool broke"])
+    merged = ExecutionReport(shards=1).merge(other)
+    assert merged.shards == 4
+    assert merged.worker_crashes == 1
+    assert merged.checkpoint_hits == 2
+    assert merged.degraded
+    text = merged.describe()
+    assert "worker crash" in text or "crash" in text
+    assert "pool broke" in text
 
 
 # ------------------------------------------------------- per-app seeding

@@ -230,3 +230,48 @@ def test_detection_record_is_anonymized(device, k9):
     }
     assert record["operation"] == "org.htmlcleaner.HtmlCleaner.clean"
     assert record["device"] == 7
+
+
+# ------------------------------------------------- crash-atomic writes
+
+
+def test_atomic_write_replaces_whole_file(tmp_path):
+    from repro.core.persistence import atomic_write_bytes, atomic_write_text
+
+    target = tmp_path / "nested" / "state.json"
+    atomic_write_text(target, '{"v": 1}')  # creates parent dirs
+    atomic_write_bytes(target, b'{"v": 2}')
+    assert target.read_text() == '{"v": 2}'
+    assert list(target.parent.iterdir()) == [target]  # no temp litter
+
+
+def test_atomic_write_torn_by_injector_keeps_old_state(tmp_path):
+    from repro.core.persistence import atomic_write_text
+    from repro.faults import TornWriteError
+
+    target = tmp_path / "report.json"
+    atomic_write_text(target, "old")
+    injector = FaultInjector(FaultPlan(torn_write_rate=1.0), seed=0)
+    with pytest.raises(TornWriteError):
+        atomic_write_text(target, "new", faults=injector, label="report")
+    assert target.read_text() == "old"
+
+
+def test_save_and_load_report_round_trip_on_disk(tmp_path):
+    from repro.core.persistence import save_report
+
+    path = tmp_path / "report.json"
+    save_report(path, make_report())
+    restored = load_report(path.read_text(), "K9-mail")
+    assert not restored.recovered_from_corruption
+    assert len(restored) == len(make_report())
+
+
+def test_save_and_load_database_round_trip_on_disk(tmp_path):
+    from repro.core.persistence import save_database
+
+    db = BlockingApiDatabase.initial()
+    db.add("org.htmlcleaner.HtmlCleaner.clean")
+    path = tmp_path / "db.json"
+    save_database(path, db)
+    assert database_from_json(path.read_text()).names() == db.names()
