@@ -35,6 +35,9 @@ import pickle
 from repro.core.persistence import atomic_write_bytes, atomic_write_text
 from repro.faults.injector import InjectedFault
 from repro.parallel import parallel_map
+from repro.telemetry import absorb_value
+from repro.telemetry import active as _telemetry_active
+from repro.telemetry import current as _telemetry_current
 
 #: Journal layout version (bumped on incompatible changes; a mismatch
 #: resets the journal, never misreads it).
@@ -67,7 +70,11 @@ class ShardJournal:
 
     def __init__(self, directory, key, faults=None, report=None):
         self.directory = pathlib.Path(directory)
-        self.key = str(key)
+        # Telemetry-on runs journal ShardTelemetry carriers instead of
+        # raw values; tagging the run key keeps the two entry shapes
+        # from ever being served across modes (a telemetry-off resume
+        # of a telemetry-on journal, or vice versa, resets instead).
+        self.key = str(key) + ("+telemetry" if _telemetry_active() else "")
         self.faults = faults
         self.report = report
 
@@ -157,6 +164,8 @@ class ShardJournal:
                     f"({type(error).__name__})",
                 )
             return False
+        _telemetry_current().advisory_event("checkpoint.write",
+                                            shard=str(shard_key))
         return True
 
     def load(self, shard_key):
@@ -193,7 +202,9 @@ def checkpointed_map(fn, items, keys, journal=None, **kwargs):
     byte-identical with, without, or across interrupted journals.
 
     With ``journal=None`` this is exactly ``parallel_map(fn, items,
-    **kwargs)``.
+    **kwargs)`` — except that the journal keys still name the shards'
+    default telemetry tracks, so a checkpointed and an unjournaled run
+    of the same sweep export identical traces.
     """
     items = list(items)
     keys = [str(key) for key in keys]
@@ -205,14 +216,19 @@ def checkpointed_map(fn, items, keys, journal=None, **kwargs):
     if len(set(keys)) != len(keys):
         raise ValueError("shard keys must be unique within one map")
     if journal is None:
-        return parallel_map(fn, items, **kwargs)
+        return parallel_map(fn, items, shard_tracks=keys, **kwargs)
     results = {}
     pending_items = []
     pending_keys = []
     for item, key in zip(items, keys):
         hit, value = journal.load(key)
         if hit:
-            results[key] = value
+            # Restored carriers replay the shard's telemetry exactly
+            # as a fresh run would record it (per-track renumbering
+            # makes the restored-before-fresh absorption order moot).
+            _telemetry_current().advisory_event("checkpoint.restore",
+                                                shard=key)
+            results[key] = absorb_value(value, key)
         else:
             pending_items.append(item)
             pending_keys.append(key)
@@ -229,7 +245,7 @@ def checkpointed_map(fn, items, keys, journal=None, **kwargs):
         journal.record(pending_keys[index], value)
 
     fresh = parallel_map(fn, pending_items, on_result=journal_result,
-                         **kwargs)
+                         shard_tracks=pending_keys, **kwargs)
     for key, value in zip(pending_keys, fresh):
         results[key] = value
     return [results[key] for key in keys]

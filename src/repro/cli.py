@@ -15,8 +15,11 @@ runs Hang Doctor over the synthetic fleet from a shell:
 """
 
 import argparse
+import json
+import pathlib
 import sys
 
+from repro import telemetry
 from repro.apps.catalog import NAMED_APPS, TABLE5_APPS, get_app
 from repro.apps.sessions import SessionGenerator
 from repro.core.hang_doctor import HangDoctor
@@ -99,16 +102,61 @@ def _print_result(result, args):
         print(result.execution.describe())
 
 
+def _run_observed(args, thunk):
+    """Run *thunk*, under a telemetry session when the flags ask for one.
+
+    Returns ``(result, session)`` where *session* is None when neither
+    ``--telemetry`` nor ``--trace`` was given — the zero-cost default.
+    """
+    if not (getattr(args, "telemetry", None)
+            or getattr(args, "trace", False)):
+        return thunk(), None
+    with telemetry.session() as active:
+        result = thunk()
+    return result, active
+
+
+def _emit_observability(args, session, report=None):
+    """Write ``--telemetry`` exports / print the ``--trace`` summary.
+
+    The export note goes to stderr so stdout stays exactly the
+    rendered result (the determinism smokes diff stdout bytes).
+    """
+    if session is None:
+        return
+    directory = getattr(args, "telemetry", None)
+    if directory:
+        paths = telemetry.write_exports(session, directory, report=report)
+        print(f"telemetry: wrote {len(paths)} file(s) to {directory}/",
+              file=sys.stderr)
+    if getattr(args, "trace", False):
+        print()
+        print(telemetry.render_trace_summary(session))
+
+
+def _dump_report_json(args, report):
+    """Write the ``--report-json`` execution-report dump, if asked."""
+    path = getattr(args, "report_json", None)
+    if not path or report is None:
+        return
+    pathlib.Path(path).write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
 def cmd_fleet(args):
     """Regenerate the Table 5 fleet study."""
     from repro.harness.exp_fleet import table5
 
     checkpoint, resume = _checkpoint_args(args)
-    result = table5(_device(args.device), seed=args.seed,
-                    users=args.users, actions_per_user=args.actions,
-                    workers=args.workers, checkpoint=checkpoint,
-                    resume=resume)
+    result, session = _run_observed(args, lambda: table5(
+        _device(args.device), seed=args.seed, users=args.users,
+        actions_per_user=args.actions, workers=args.workers,
+        checkpoint=checkpoint, resume=resume,
+    ))
     _print_result(result, args)
+    _emit_observability(args, session, result.execution)
+    _dump_report_json(args, result.execution)
 
 
 def cmd_compare(args):
@@ -134,11 +182,14 @@ def cmd_chaos(args):
         apps = tuple(args.apps.split(",")) if args.apps else None
         users, actions = args.users, args.actions
     checkpoint, resume = _checkpoint_args(args)
-    result = chaos_sweep(_device(args.device), seed=args.seed, rates=rates,
-                         apps=apps, users=users, actions_per_user=actions,
-                         workers=args.workers, checkpoint=checkpoint,
-                         resume=resume)
+    result, session = _run_observed(args, lambda: chaos_sweep(
+        _device(args.device), seed=args.seed, rates=rates, apps=apps,
+        users=users, actions_per_user=actions, workers=args.workers,
+        checkpoint=checkpoint, resume=resume,
+    ))
     _print_result(result, args)
+    _emit_observability(args, session, result.execution)
+    _dump_report_json(args, result.execution)
 
 
 def cmd_crowd(args):
@@ -154,12 +205,15 @@ def cmd_crowd(args):
         apps = tuple(args.apps.split(",")) if args.apps else None
         rounds, actions = args.rounds, args.actions
     checkpoint, resume = _checkpoint_args(args)
-    result = crowd_sweep(_device(args.device), seed=args.seed,
-                         fleet_sizes=fleet_sizes, rounds=rounds, apps=apps,
-                         actions_per_round=actions,
-                         fault_rate=args.fault_rate, workers=args.workers,
-                         checkpoint=checkpoint, resume=resume)
+    result, session = _run_observed(args, lambda: crowd_sweep(
+        _device(args.device), seed=args.seed, fleet_sizes=fleet_sizes,
+        rounds=rounds, apps=apps, actions_per_round=actions,
+        fault_rate=args.fault_rate, workers=args.workers,
+        checkpoint=checkpoint, resume=resume,
+    ))
     _print_result(result, args)
+    _emit_observability(args, session, result.execution)
+    _dump_report_json(args, result.execution)
 
 
 def cmd_filter(args):
@@ -180,8 +234,11 @@ def cmd_reproduce(args):
         print(f"  {name:10s} done in {seconds:5.1f}s")
 
     print(f"Reproducing all experiments into {args.out}/ ...")
-    generate_all(_device(args.device), args.out, seed=args.seed,
-                 progress=progress, workers=args.workers)
+    _, session = _run_observed(args, lambda: generate_all(
+        _device(args.device), args.out, seed=args.seed,
+        progress=progress, workers=args.workers,
+    ))
+    _emit_observability(args, session)
     print("done.")
 
 
@@ -262,12 +319,32 @@ def build_parser():
             help="print the execution report (retries, fallbacks, "
                  "deadline hits, checkpoint hits) after the result")
 
+    def add_observability_flags(command, report_json=True):
+        """The telemetry trio shared by the instrumented commands."""
+        command.add_argument(
+            "--telemetry", default=None, metavar="DIR",
+            help="collect deterministic telemetry and export it to DIR: "
+                 "trace.jsonl (event log), trace.json (Chrome trace, "
+                 "loads in Perfetto), metrics.txt, plus the advisory "
+                 "executor.jsonl; exports are byte-identical for any "
+                 "--workers count and across checkpoint resume")
+        command.add_argument(
+            "--trace", action="store_true",
+            help="print a trace summary (top spans by self-time, "
+                 "metrics) after the result")
+        if report_json:
+            command.add_argument(
+                "--report-json", default=None, metavar="PATH",
+                help="dump the execution report (supervision events, "
+                     "machine-readable) to PATH")
+
     fleet = sub.add_parser("fleet", help="the Table 5 fleet study")
     fleet.add_argument("--users", type=int, default=4)
     fleet.add_argument("--actions", type=int, default=60)
     fleet.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     add_checkpoint_flags(fleet)
+    add_observability_flags(fleet)
     fleet.set_defaults(func=cmd_fleet)
 
     compare = sub.add_parser("compare",
@@ -298,6 +375,7 @@ def build_parser():
     chaos.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     add_checkpoint_flags(chaos)
+    add_observability_flags(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     crowd = sub.add_parser(
@@ -325,6 +403,7 @@ def build_parser():
     crowd.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     add_checkpoint_flags(crowd)
+    add_observability_flags(crowd)
     crowd.set_defaults(func=cmd_crowd)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
@@ -336,6 +415,7 @@ def build_parser():
     reproduce.add_argument("--out", default="reproduction")
     reproduce.add_argument("--workers", type=_workers, default=1,
                            help=workers_help)
+    add_observability_flags(reproduce, report_json=False)
     reproduce.set_defaults(func=cmd_reproduce)
 
     verify = sub.add_parser(

@@ -44,6 +44,8 @@ from repro.faults import (
     FaultPlan,
     TransientCounterError,
 )
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import current as telemetry
 
 
 class HangDoctor(Detector):
@@ -80,16 +82,43 @@ class HangDoctor(Detector):
         self.diagnoser = Diagnoser(self.config, app_package=app.package,
                                    faults=faults)
         self.report = HangBugReport(app.name)
-        #: True once counters died and only the timeout remains.
-        self.degraded = False
-        #: Phase-2 trace collections actually paid for (the expensive
-        #: half of the two-phase cost, what the crowd backend drives
-        #: down fleet-wide).
-        self.phase2_collections = 0
-        #: Phase-2 collections avoided via the crowd known-bug DB.
-        self.kb_short_circuits = 0
+        #: This doctor's always-on metrics registry — the *single*
+        #: source behind the public run-counter views
+        #: (:attr:`phase2_collections`, :attr:`kb_short_circuits`,
+        #: :attr:`degraded`), which used to be bookkept in parallel
+        #: with the telemetry stream and could drift from it.
+        self.metrics = MetricsRegistry()
         self._consecutive_counter_failures = 0
         self._quarantines_reported = set()
+
+    # ------------------------------------------------------------------
+
+    def _meter(self, name, n=1):
+        """Increment one run counter in the single source of truth.
+
+        The local registry backs the public view properties; an active
+        telemetry session sees the very same increment, so the views
+        and the exported metrics can never disagree.
+        """
+        self.metrics.count(name, n)
+        telemetry().count(name, n)
+
+    @property
+    def degraded(self):
+        """True once counters died and only the timeout remains."""
+        return self.metrics.gauge_value("core.degraded.mode") > 0
+
+    @property
+    def phase2_collections(self):
+        """Phase-2 trace collections actually paid for (the expensive
+        half of the two-phase cost, what the crowd backend drives down
+        fleet-wide)."""
+        return self.metrics.counter_value("core.phase2.collections")
+
+    @property
+    def kb_short_circuits(self):
+        """Phase-2 collections avoided via the crowd known-bug DB."""
+        return self.metrics.counter_value("core.kb.short_circuits")
 
     # ------------------------------------------------------------------
 
@@ -115,6 +144,21 @@ class HangDoctor(Detector):
         outcome.cost.rt_events = len(execution.events)
         hang = execution.response_time_ms > self.config.perceivable_delay_ms
 
+        self._meter("core.actions.processed")
+        if hang:
+            self._meter("core.hangs.observed")
+            self.metrics.observe("core.hang.response_ms",
+                                 execution.response_time_ms)
+            telemetry().observe("core.hang.response_ms",
+                                execution.response_time_ms)
+        tel = telemetry()
+        if tel.enabled:
+            tel.record_span(
+                "core.action.process", execution.start_ms,
+                execution.end_ms, action=execution.action.name,
+                state=state.name, hang=hang,
+            )
+
         if state is ActionState.UNCATEGORIZED:
             self._phase_one(uid, execution, hang, outcome)
         elif state is ActionState.NORMAL:
@@ -131,6 +175,10 @@ class HangDoctor(Detector):
             # Timeout-only mode: the counters are gone, so the filter
             # cannot prune UI work; every hang goes to the Diagnoser.
             if hang:
+                telemetry().event(
+                    "core.schecker.verdict", execution.end_ms,
+                    action=execution.action.name, verdict="timeout-only",
+                )
                 self.machine.transition(
                     uid, ActionState.SUSPICIOUS, "timeout-only",
                     time_ms=execution.end_ms,
@@ -145,11 +193,21 @@ class HangDoctor(Detector):
             # The read ultimately failed.  Without counter evidence the
             # hang cannot be ruled UI work, so fail conservative: hand
             # it to the Diagnoser rather than miss a bug.
+            telemetry().event(
+                "core.schecker.verdict", execution.end_ms,
+                action=execution.action.name, verdict="read-failed",
+            )
             self.machine.transition(
                 uid, ActionState.SUSPICIOUS, "S-Checker (read failed)",
                 time_ms=execution.end_ms,
             )
             return
+        verdict = "suspicious" if check.symptomatic else "normal"
+        self._meter(f"core.schecker.{verdict}")
+        telemetry().event(
+            "core.schecker.verdict", execution.end_ms,
+            action=execution.action.name, verdict=verdict,
+        )
         if check.symptomatic:
             self.machine.transition(
                 uid, ActionState.SUSPICIOUS, "S-Checker",
@@ -174,10 +232,12 @@ class HangDoctor(Detector):
             except TransientCounterError:
                 outcome.cost.counter_reads += 1
                 outcome.cost.counter_read_failures += 1
+                self._meter("core.schecker.read_failures")
                 continue
             except CounterUnavailableError:
                 outcome.cost.counter_reads += 1
                 outcome.cost.counter_read_failures += 1
+                self._meter("core.schecker.read_failures")
                 break
             outcome.cost.counter_reads += 1
             self._consecutive_counter_failures = 0
@@ -190,7 +250,14 @@ class HangDoctor(Detector):
 
     def _enter_degraded_mode(self, time_ms):
         """Give up on counters; record it instead of crashing."""
-        self.degraded = True
+        self.metrics.gauge_set("core.degraded.mode", 1.0)
+        self._meter("core.degraded.entries")
+        tel = telemetry()
+        tel.gauge_set("core.degraded.mode", 1.0)
+        tel.event(
+            "core.degraded.enter", time_ms,
+            consecutive_failures=self._consecutive_counter_failures,
+        )
         self.report.note_degradation(
             "timeout-only",
             detail=(
@@ -217,8 +284,12 @@ class HangDoctor(Detector):
         known = self.crowd_kb.lookup(self.app.name, execution.action.name)
         if known is None:
             return False
-        self.kb_short_circuits += 1
+        self._meter("core.kb.short_circuits")
         outcome.cost.kb_short_circuits += 1
+        telemetry().event(
+            "core.kb.short_circuit", execution.end_ms,
+            action=execution.action.name, operation=known.operation,
+        )
         if state is ActionState.SUSPICIOUS:
             self.machine.transition(uid, ActionState.HANG_BUG, "Crowd-KB",
                                     time_ms=execution.end_ms)
@@ -259,7 +330,7 @@ class HangDoctor(Detector):
         if self._crowd_short_circuit(uid, state, execution, outcome,
                                      device_id):
             return
-        self.phase2_collections += 1
+        self._meter("core.phase2.collections")
         result = self.diagnoser.diagnose(execution)
         outcome.trace_episodes.extend(
             (h.start_ms, h.end_ms) for h in result.hang_diagnoses
@@ -267,10 +338,24 @@ class HangDoctor(Detector):
         outcome.cost.trace_samples = result.samples
         outcome.cost.analyses = len(result.hang_diagnoses)
         outcome.cost.trace_failures = result.trace_failures
+        if result.samples:
+            self._meter("core.trace.samples", result.samples)
+        if result.trace_failures:
+            self._meter("core.trace.failures", result.trace_failures)
+        tel = telemetry()
+        if tel.enabled:
+            tel.record_span(
+                "core.diagnoser.collect", execution.start_ms,
+                execution.end_ms, action=execution.action.name,
+                samples=result.samples, analyses=len(result.hang_diagnoses),
+                trace_failures=result.trace_failures,
+            )
         if result.quarantined:
             name = execution.action.name
             if name not in self._quarantines_reported:
                 self._quarantines_reported.add(name)
+                tel.event("core.diagnoser.quarantine", execution.end_ms,
+                          action=name)
                 self.report.note_degradation(
                     "trace-quarantine", detail=name,
                     time_ms=execution.end_ms,

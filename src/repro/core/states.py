@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass
 from typing import List
 
+from repro.telemetry import current as telemetry
+
 
 class ActionState(enum.Enum):
     """Lifecycle state of one user action."""
@@ -96,6 +98,14 @@ class ActionStateMachine:
             Transition(uid=uid, source=source, target=target,
                        component=component, time_ms=time_ms)
         )
+        tel = telemetry()
+        if tel.enabled:
+            tel.count("core.state.transitions")
+            tel.event(
+                "core.state.transition", time_ms, uid=uid,
+                source=source.value, target=target.value,
+                component=component,
+            )
         return target
 
     def note_normal_execution(self, uid, time_ms=0.0):

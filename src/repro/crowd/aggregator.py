@@ -44,6 +44,7 @@ from repro.base.frames import Frame
 from repro.base.rng import substream_seed
 from repro.core.blocking_db import BlockingApiDatabase
 from repro.core.report import occurrence_bucket
+from repro.telemetry import current as telemetry
 
 
 @dataclass(frozen=True)
@@ -231,8 +232,10 @@ class CrowdAggregator:
         copy must not double-count anything.
         """
         if batch.batch_id in self._batches:
+            telemetry().count("crowd.batches.deduped")
             return False
         self._batches[batch.batch_id] = batch
+        telemetry().count("crowd.batches.ingested")
         return True
 
     def ingest_report(self, report, device_id, time_ms, batch_id=None):

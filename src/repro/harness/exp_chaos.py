@@ -43,6 +43,7 @@ from repro.harness.exp_fleet import fleet_app_seed
 from repro.harness.tables import render_table
 from repro.parallel import ExecutionReport
 from repro.sim.engine import ExecutionEngine
+from repro.telemetry import current as telemetry
 
 #: Default fault-rate grid of the sweep.
 DEFAULT_RATES = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
@@ -182,26 +183,30 @@ def _chaos_cell(payload):
     the fleet study's fault-free numbers bit-for-bit.
     """
     device, seed, rate, app_name, users, actions_per_user = payload
-    app = get_app(app_name)
-    plan = FaultPlan.uniform(rate)
-    app_seed = fleet_app_seed(seed, app_name)
-    engine = ExecutionEngine(device, seed=app_seed)
-    doctor = HangDoctor(app, device, seed=app_seed, faults=plan)
-    generator = SessionGenerator(seed=seed)
-    runs = []
-    for session in generator.fleet_sessions(app, users, actions_per_user):
-        executions = engine.run_session(
-            app, session.action_names, gap_ms=1000.0
-        )
-        runs.append(run_detector(doctor, executions,
-                                 device_id=session.user_id))
-    run = DetectorRun.merge(runs)
-    counts = run.confusion()
-    # End-of-deployment upload: persist the report and reload it
-    # through the same fault injector (a crash mid-write corrupts the
-    # file at persistence_corrupt_rate).
-    restored = load_report(report_to_json(doctor.report), app.name,
-                           faults=doctor.faults)
+    tel = telemetry()
+    with tel.track(f"chaos/rate{rate:g}/{app_name}"):
+        tel.count("chaos.cells")
+        app = get_app(app_name)
+        plan = FaultPlan.uniform(rate)
+        app_seed = fleet_app_seed(seed, app_name)
+        engine = ExecutionEngine(device, seed=app_seed)
+        doctor = HangDoctor(app, device, seed=app_seed, faults=plan)
+        generator = SessionGenerator(seed=seed)
+        runs = []
+        for session in generator.fleet_sessions(app, users,
+                                                actions_per_user):
+            executions = engine.run_session(
+                app, session.action_names, gap_ms=1000.0
+            )
+            runs.append(run_detector(doctor, executions,
+                                     device_id=session.user_id))
+        run = DetectorRun.merge(runs)
+        counts = run.confusion()
+        # End-of-deployment upload: persist the report and reload it
+        # through the same fault injector (a crash mid-write corrupts
+        # the file at persistence_corrupt_rate).
+        restored = load_report(report_to_json(doctor.report), app.name,
+                               faults=doctor.faults)
     return ChaosCell(
         rate=rate,
         app_name=app_name,

@@ -31,6 +31,7 @@ from repro.harness.tables import render_table
 from repro.harness.training import training_bug_cases, validation_bug_cases
 from repro.parallel import parallel_map
 from repro.sim.engine import ExecutionEngine
+from repro.telemetry import current as telemetry
 
 #: The representative apps of the paper's Figure 8.
 FIGURE8_APPS = (
@@ -174,22 +175,26 @@ def _figure8_shard(payload):
     process pool can pickle it); returns a :class:`Figure8AppResult`."""
     (device, seed, app_name, users, actions_per_user, low, high,
      overhead_model) = payload
-    app = get_app(app_name)
-    generator = SessionGenerator(seed=seed)
-    engine = ExecutionEngine(device, seed=seed)
-    executions = []
-    for session in generator.fleet_sessions(app, users, actions_per_user):
-        executions.extend(
-            engine.run_session(app, session.action_names, gap_ms=1000.0)
-        )
-    detectors = build_detectors(app, device, low, high, seed=seed)
-    runs = run_detectors(detectors, executions)
-    confusion = {}
-    overhead = {}
-    for name, run in runs.items():
-        counts = run.confusion()
-        confusion[name] = (counts.tp, counts.fp, counts.fn)
-        overhead[name] = run.overhead(overhead_model).average_percent
+    # Track per app (not per shard): semantic names keep the trace
+    # independent of how shards landed on workers.
+    with telemetry().track(f"figure8/{app_name}"):
+        app = get_app(app_name)
+        generator = SessionGenerator(seed=seed)
+        engine = ExecutionEngine(device, seed=seed)
+        executions = []
+        for session in generator.fleet_sessions(app, users,
+                                                actions_per_user):
+            executions.extend(
+                engine.run_session(app, session.action_names, gap_ms=1000.0)
+            )
+        detectors = build_detectors(app, device, low, high, seed=seed)
+        runs = run_detectors(detectors, executions)
+        confusion = {}
+        overhead = {}
+        for name, run in runs.items():
+            counts = run.confusion()
+            confusion[name] = (counts.tp, counts.fp, counts.fn)
+            overhead[name] = run.overhead(overhead_model).average_percent
     return Figure8AppResult(
         app_name=app_name, confusion=confusion, overhead=overhead
     )

@@ -48,6 +48,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.harness.tables import render_table
 from repro.parallel import ExecutionReport
 from repro.sim.engine import ExecutionEngine
+from repro.telemetry import current as telemetry
 
 #: Default fleet sizes of the sweep (devices per fleet).
 DEFAULT_FLEET_SIZES = (1, 2, 4, 8)
@@ -93,42 +94,53 @@ def _crowd_device_round(payload):
     knowledge and blocking-database snapshot published at the start of
     the round, then digests its per-app Hang Bug Reports into upload
     batches stamped with the round index.
+
+    The payload's trailing *track* element names the telemetry track
+    the round's records land on (e.g. ``crowd/fleet4/d1/r0``) — it has
+    to travel in the payload because the baseline and the fleet's
+    round 0 are otherwise byte-identical payloads, and shard-derived
+    names would move with the worker count.
     """
     (device, seed, app_names, device_index, round_index, actions,
-     knowledge, db_names) = payload
-    round_seed = crowd_device_seed(seed, device_index, round_index)
-    generator = SessionGenerator(seed=round_seed)
-    phase2 = 0
-    shorts = 0
-    sites = []
-    batches = []
-    for app_name in app_names:
-        app = get_app(app_name)
-        app_seed = substream_seed(round_seed, app_name)
-        engine = ExecutionEngine(device, seed=app_seed)
-        doctor = HangDoctor(
-            app, device, seed=app_seed,
-            blocking_db=BlockingApiDatabase(db_names),
-            crowd_kb=knowledge,
-        )
-        session = generator.user_session(
-            app, user_id=device_index, actions_per_user=actions
-        )
-        executions = engine.run_session(app, session.action_names,
-                                        gap_ms=1000.0)
-        run = run_detector(doctor, executions, device_id=device_index)
-        phase2 += doctor.phase2_collections
-        shorts += doctor.kb_short_circuits
-        sites.extend(
-            (app_name, site)
-            for site in sorted(detected_bug_sites(app, run.detections))
-        )
-        if len(doctor.report):
-            batches.append(ReportBatch.from_report(
-                doctor.report, device_id=device_index,
-                time_ms=float(round_index),
-                batch_id=f"{app_name}/dev{device_index}/round{round_index}",
-            ))
+     knowledge, db_names, track) = payload
+    tel = telemetry()
+    with tel.track(track):
+        tel.count("crowd.device_rounds")
+        round_seed = crowd_device_seed(seed, device_index, round_index)
+        generator = SessionGenerator(seed=round_seed)
+        phase2 = 0
+        shorts = 0
+        sites = []
+        batches = []
+        for app_name in app_names:
+            app = get_app(app_name)
+            app_seed = substream_seed(round_seed, app_name)
+            engine = ExecutionEngine(device, seed=app_seed)
+            doctor = HangDoctor(
+                app, device, seed=app_seed,
+                blocking_db=BlockingApiDatabase(db_names),
+                crowd_kb=knowledge,
+            )
+            session = generator.user_session(
+                app, user_id=device_index, actions_per_user=actions
+            )
+            executions = engine.run_session(app, session.action_names,
+                                            gap_ms=1000.0)
+            run = run_detector(doctor, executions, device_id=device_index)
+            phase2 += doctor.phase2_collections
+            shorts += doctor.kb_short_circuits
+            sites.extend(
+                (app_name, site)
+                for site in sorted(detected_bug_sites(app, run.detections))
+            )
+            if len(doctor.report):
+                batches.append(ReportBatch.from_report(
+                    doctor.report, device_id=device_index,
+                    time_ms=float(round_index),
+                    batch_id=(
+                        f"{app_name}/dev{device_index}/round{round_index}"
+                    ),
+                ))
     return CrowdDeviceRound(
         device_index=device_index,
         round_index=round_index,
@@ -273,6 +285,7 @@ def _ingest_round(aggregator, arrivals, new_results, faults, stats):
     drawn serially here in the parent, so worker count never reaches
     the fault streams.
     """
+    tel = telemetry()
     round_agg = CrowdAggregator()
     for batch in arrivals:
         if not round_agg.ingest(batch):
@@ -283,9 +296,15 @@ def _ingest_round(aggregator, arrivals, new_results, faults, stats):
         for batch in result.batches:
             if faults is not None and faults.drop_report_batch():
                 stats["batches_dropped"] += 1
+                tel.count("crowd.batches.dropped")
+                tel.event("crowd.batch.dropped", batch.time_ms,
+                          batch=batch.batch_id)
                 continue
             if faults is not None and faults.delay_report_batch():
                 stats["batches_late"] += 1
+                tel.count("crowd.batches.delayed")
+                tel.event("crowd.batch.delayed", batch.time_ms,
+                          batch=batch.batch_id)
                 delayed.append(batch)
                 continue
             if not round_agg.ingest(batch):
@@ -294,6 +313,9 @@ def _ingest_round(aggregator, arrivals, new_results, faults, stats):
             if faults is not None and faults.duplicate_report_batch():
                 stats["batches_duplicated"] += 1
                 stats["batches_ingested"] += 1
+                tel.count("crowd.batches.duplicated")
+                tel.event("crowd.batch.duplicated", batch.time_ms,
+                          batch=batch.batch_id)
                 if not round_agg.ingest(batch):
                     stats["duplicates_ignored"] += 1
     return CrowdAggregator.merge([aggregator, round_agg]), delayed
@@ -329,31 +351,47 @@ def _run_fleet(device, seed, apps, fleet_size, rounds, actions, fault_rate,
     phase2 = 0
     shorts = 0
     sites = set()
-    for round_index in range(rounds):
-        knowledge = aggregator.knowledge()
-        db_names = tuple(aggregator.publish_database().sorted_names())
-        payloads = [
-            (device, seed, apps, device_index, round_index, actions,
-             knowledge, db_names)
-            for device_index in range(fleet_size)
-        ]
-        keys = [
-            f"fleet{fleet_size}|r{round_index}|d{device_index}"
-            for device_index in range(fleet_size)
-        ]
-        results = checkpointed_map(_crowd_device_round, payloads, keys,
-                                   journal, workers=workers, report=report)
-        for result in results:
-            phase2 += result.phase2_collections
-            shorts += result.kb_short_circuits
-            sites.update(result.detected_sites)
-        aggregator, pending = _ingest_round(
-            aggregator, pending, results, faults, stats
-        )
-    if pending:
-        # Batches still in flight when the sweep ends arrive late but
-        # arrive: flush them so the final statistics converge.
-        aggregator, _ = _ingest_round(aggregator, pending, (), None, stats)
+    tel = telemetry()
+    with tel.track(f"crowd/fleet{fleet_size}"):
+        for round_index in range(rounds):
+            with tel.span("crowd.round", fleet=fleet_size,
+                          round=round_index):
+                knowledge = aggregator.knowledge()
+                db_names = tuple(
+                    aggregator.publish_database().sorted_names()
+                )
+                tel.event(
+                    "crowd.publish", float(round_index),
+                    fleet=fleet_size, known_bugs=len(knowledge),
+                    blocking_apis=len(db_names),
+                )
+                payloads = [
+                    (device, seed, apps, device_index, round_index,
+                     actions, knowledge, db_names,
+                     f"crowd/fleet{fleet_size}/d{device_index}"
+                     f"/r{round_index}")
+                    for device_index in range(fleet_size)
+                ]
+                keys = [
+                    f"fleet{fleet_size}|r{round_index}|d{device_index}"
+                    for device_index in range(fleet_size)
+                ]
+                results = checkpointed_map(
+                    _crowd_device_round, payloads, keys, journal,
+                    workers=workers, report=report,
+                )
+                for result in results:
+                    phase2 += result.phase2_collections
+                    shorts += result.kb_short_circuits
+                    sites.update(result.detected_sites)
+                aggregator, pending = _ingest_round(
+                    aggregator, pending, results, faults, stats
+                )
+        if pending:
+            # Batches still in flight when the sweep ends arrive late
+            # but arrive: flush them so the final statistics converge.
+            aggregator, _ = _ingest_round(aggregator, pending, (), None,
+                                          stats)
     knowledge = aggregator.knowledge()
     published = aggregator.publish_database()
     baseline_cells = [
@@ -421,7 +459,8 @@ def crowd_sweep(device, seed=0, fleet_sizes=DEFAULT_FLEET_SIZES, rounds=3,
     # payload, so it shards freely.
     base_payloads = [
         (device, seed, apps, device_index, round_index, actions_per_round,
-         CrowdKnowledge(), tuple(BlockingApiDatabase.initial()))
+         CrowdKnowledge(), tuple(BlockingApiDatabase.initial()),
+         f"crowd/base/d{device_index}/r{round_index}")
         for device_index in range(max(fleet_sizes))
         for round_index in range(rounds)
     ]

@@ -42,6 +42,7 @@ from repro.parallel import ExecutionReport, chunk_indices, resolve_workers
 from repro.sim.engine import ExecutionEngine
 from repro.sim.pmu import PmuSampler
 from repro.sim.timeline import MAIN_THREAD, RENDER_THREAD
+from repro.telemetry import current as telemetry
 
 
 def fleet_app_seed(seed, app_name):
@@ -232,11 +233,17 @@ def _table5_shard(payload):
     ))
     rows = []
     clean_flagged = 0
+    tel = telemetry()
     for index in indices:
-        row, flagged = _run_fleet_app(
-            apps[index], device, seed, users, actions_per_user, config,
-            generator, scanner, blocking_db, crowd_kb=crowd_kb,
-        )
+        # Track per app, not per shard: Table 5 shards are worker-count
+        # slices, so shard-derived names would break the byte-identity
+        # of traces across --workers.
+        with tel.track(f"fleet/{apps[index].name}"):
+            tel.count("fleet.apps.run")
+            row, flagged = _run_fleet_app(
+                apps[index], device, seed, users, actions_per_user,
+                config, generator, scanner, blocking_db, crowd_kb=crowd_kb,
+            )
         if row is not None:
             rows.append(row)
         clean_flagged += flagged

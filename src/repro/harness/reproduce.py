@@ -10,6 +10,7 @@ import pathlib
 import time
 
 from repro.core.persistence import atomic_write_text
+from repro.telemetry import current as telemetry
 from repro.harness import (
     exp_casestudy,
     exp_comparison,
@@ -60,14 +61,19 @@ def generate_all(device, out_dir, seed=0, progress=None, workers=1):
     out_path = pathlib.Path(out_dir)
     out_path.mkdir(parents=True, exist_ok=True)
     rendered = {}
-    for name, runner in EXPERIMENTS:
-        started = time.perf_counter()
-        result = runner(device, seed, workers)
-        text = result.render()
-        # Crash-atomic so an interrupted reproduction never leaves a
-        # half-written artifact to be diffed against.
-        atomic_write_text(out_path / f"{name}.txt", text + "\n")
-        rendered[name] = text
-        if progress is not None:
-            progress(name, time.perf_counter() - started)
+    tel = telemetry()
+    with tel.track("reproduce"):
+        for name, runner in EXPERIMENTS:
+            started = time.perf_counter()
+            # One tick-clock span per artifact (wall time is for the
+            # progress line only — it never enters the trace).
+            with tel.span(f"reproduce.{name}"):
+                result = runner(device, seed, workers)
+                text = result.render()
+            # Crash-atomic so an interrupted reproduction never leaves
+            # a half-written artifact to be diffed against.
+            atomic_write_text(out_path / f"{name}.txt", text + "\n")
+            rendered[name] = text
+            if progress is not None:
+                progress(name, time.perf_counter() - started)
     return rendered

@@ -52,6 +52,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.telemetry import absorb_value, collect_shard
+from repro.telemetry import active as _telemetry_active
+from repro.telemetry import current as _telemetry_current
+
 #: Exit status an injected worker kill dies with (visible in the
 #: pool's stderr noise; any nonzero status breaks the pool the same).
 KILLED_EXIT_CODE = 87
@@ -90,8 +94,36 @@ class ExecutionReport:
     events: List[str] = field(default_factory=list)
 
     def record(self, kind, detail=""):
-        """Append one event to the log."""
+        """Append one event to the log.
+
+        Mirrored onto the telemetry advisory channel (as
+        ``executor.<kind>``) when a session is active, so supervision
+        shows up in the trace exports without ever entering the
+        deterministic channel.
+        """
         self.events.append(f"{kind}: {detail}" if detail else kind)
+        _telemetry_current().advisory_event(f"executor.{kind}",
+                                            detail=detail)
+
+    def to_dict(self):
+        """Machine-readable snapshot: counters, events, degraded flag.
+
+        The payload behind ``--report-json`` and the telemetry
+        ``execution.json`` export; all values are JSON builtins.
+        """
+        return {
+            "shards": self.shards,
+            "pool_attempts": self.pool_attempts,
+            "worker_crashes": self.worker_crashes,
+            "shard_retries": self.shard_retries,
+            "deadline_hits": self.deadline_hits,
+            "in_process_shards": self.in_process_shards,
+            "serial_fallbacks": self.serial_fallbacks,
+            "checkpoint_hits": self.checkpoint_hits,
+            "torn_writes": self.torn_writes,
+            "degraded": self.degraded,
+            "events": list(self.events),
+        }
 
     @property
     def degraded(self):
@@ -211,15 +243,23 @@ class _ShardFailure:
         self.error = error
 
 
-def _guarded(fn, item):
-    """Run one shard, returning exceptions as tagged sentinels."""
+def _guarded(fn, item, collect=False):
+    """Run one shard, returning exceptions as tagged sentinels.
+
+    With *collect* the shard runs under a fresh telemetry sub-session
+    and the return value is a :class:`~repro.telemetry.ShardTelemetry`
+    carrier (value + records + metrics) for the parent to absorb;
+    failures are never wrapped, so the sentinel contract is unchanged.
+    """
     try:
+        if collect:
+            return collect_shard(fn, item)
         return fn(item)
     except Exception as error:  # noqa: BLE001 - re-raised by the parent
         return _ShardFailure(error)
 
 
-def _supervised(fn, item, shard, attempt, faults):
+def _supervised(fn, item, shard, attempt, faults, collect=False):
     """Worker-side shard entry: inject executor faults, then run.
 
     Kill/stall verdicts are keyed by (shard, attempt) so they are
@@ -232,14 +272,14 @@ def _supervised(fn, item, shard, attempt, faults):
             os._exit(KILLED_EXIT_CODE)
         if faults.shard_stall_fault(shard, attempt):
             time.sleep(faults.plan.shard_stall_seconds)
-    return _guarded(fn, item)
+    return _guarded(fn, item, collect)
 
 
-def _serial(fn, items, on_result=None):
+def _serial(fn, items, on_result=None, collect=False):
     """The in-process reference loop (also the correctness oracle)."""
     results = []
     for index, item in enumerate(items):
-        value = _guarded(fn, item)
+        value = _guarded(fn, item, collect)
         if on_result is not None and not isinstance(value, _ShardFailure):
             on_result(index, value)
         results.append(value)
@@ -301,7 +341,7 @@ def _drain(futures, results, deadline, report, on_result):
 
 def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
                  retries=2, backoff=0.05, faults=None, report=None,
-                 on_result=None):
+                 on_result=None, shard_tracks=None):
     """Ordered ``[fn(item) for item in items]`` over a supervised pool.
 
     *fn* must be a module-level callable for process execution; the
@@ -321,7 +361,17 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
     *on_result(index, value)* fires the first time each shard's result
     is collected, in whatever order shards actually complete — the
     hook checkpoint journals use to persist progress incrementally, so
-    a kill mid-run only loses in-flight shards.
+    a kill mid-run only loses in-flight shards.  When a telemetry
+    session is active, the *value* passed to the hook is the shard's
+    :class:`~repro.telemetry.ShardTelemetry` carrier, so journaled
+    entries replay the shard's telemetry on resume.
+
+    *shard_tracks* names the default telemetry track per item (same
+    length as *items*; checkpointed maps pass their journal keys).
+    Ignored without an active session; without it, stable
+    ``shard/m<map>.<index>`` names are generated.  Shard code that
+    sets its own semantic track scopes overrides the default either
+    way.
     """
     del chunksize  # per-shard submission supersedes chunked map
     items = list(items)
@@ -329,12 +379,40 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
     if report is None:
         report = ExecutionReport()
     report.shards += len(items)
+    collect = _telemetry_active()
+    tracks = None
+    if collect:
+        if shard_tracks is not None:
+            tracks = [str(track) for track in shard_tracks]
+            if len(tracks) != len(items):
+                raise ValueError(
+                    f"need one shard track per item, got {len(tracks)} "
+                    f"for {len(items)} items"
+                )
+        else:
+            map_seq = _telemetry_current().next_map_seq()
+            tracks = [
+                f"shard/m{map_seq}.{index}" for index in range(len(items))
+            ]
+
+    def finish(values):
+        # Absorb shard telemetry carriers (submission order, so the
+        # per-track renumbering is deterministic) and unwrap values;
+        # failures stay sentinels for _raise_first_failure.
+        if collect:
+            values = [
+                value if isinstance(value, _ShardFailure)
+                else absorb_value(value, tracks[index])
+                for index, value in enumerate(values)
+            ]
+        return _raise_first_failure(values)
+
     if workers <= 1 or len(items) <= 1:
-        return _raise_first_failure(_serial(fn, items, on_result))
+        return finish(_serial(fn, items, on_result, collect))
     if not _picklable((fn, items, faults)):
         report.serial_fallbacks += 1
         report.record("serial-fallback", "payload not picklable")
-        return _raise_first_failure(_serial(fn, items, on_result))
+        return finish(_serial(fn, items, on_result, collect))
 
     results = {}
     pending = list(range(len(items)))
@@ -359,8 +437,8 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
                 f"pool unavailable ({type(error).__name__}: {error})",
             )
             for index in pending:
-                _collect(results, index, _guarded(fn, items[index]),
-                         on_result)
+                _collect(results, index,
+                         _guarded(fn, items[index], collect), on_result)
             pending = []
             break
         futures = {}
@@ -368,7 +446,8 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
         for index in pending:
             try:
                 futures[index] = pool.submit(_supervised, fn, items[index],
-                                             index, attempt, faults)
+                                             index, attempt, faults,
+                                             collect)
             except BrokenProcessPool:
                 # A worker died while we were still submitting; the
                 # rest of this batch retries on the rebuilt pool.
@@ -395,5 +474,6 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
             report.record("in-process", f"shard {index} after "
                           f"{retries + 1} pool attempt(s)")
         report.in_process_shards += 1
-        _collect(results, index, _guarded(fn, items[index]), on_result)
-    return _raise_first_failure([results[i] for i in range(len(items))])
+        _collect(results, index, _guarded(fn, items[index], collect),
+                 on_result)
+    return finish([results[i] for i in range(len(items))])

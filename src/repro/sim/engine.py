@@ -25,6 +25,7 @@ from repro.sim.timeline import (
     Timeline,
     WORKER_THREAD,
 )
+from repro.telemetry import current as telemetry
 
 #: Human-perceivable delay threshold (ms); the paper's soft-hang bar.
 PERCEIVABLE_DELAY_MS = 100.0
@@ -246,6 +247,15 @@ class ExecutionEngine:
             clock = record.finish_ms + _EVENT_GAP_MS
 
         end_ms = self._settle(timeline, clock, rng)
+        tel = telemetry()
+        if tel.enabled:
+            tel.count("sim.actions.executed")
+            tel.count("sim.events.dispatched", len(events))
+            tel.record_span(
+                "sim.action.execute", start_ms, end_ms,
+                app=app.name, action=action.name, events=len(events),
+                hang=any(event.is_soft_hang for event in events),
+            )
         return ActionExecution(
             app=app,
             action=action,
@@ -493,6 +503,9 @@ class ExecutionEngine:
 
     def _counts(self, kind, thread, wall_ms, cpu_ms, pages, uarch, rng,
                 wait_chunk_override=None):
+        # Hot path: a bare counter bump is the only telemetry afforded
+        # here (the no-op makes it one global read when disabled).
+        telemetry().count("sim.counter.segments")
         return self.counter_model.segment_counts(
             kind=kind,
             thread=thread,

@@ -17,9 +17,19 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.harness.exp_chaos import chaos_sweep
 from repro.harness.exp_fleet import table5
 from repro.parallel import ExecutionReport
+from repro.telemetry import current, export_jsonl, session
 
 
 def _triple(x):
+    return x * 3
+
+
+def _traced_triple(x):
+    """Picklable shard function that records telemetry on its base
+    track — the journal key names the track at absorb time."""
+    tel = current()
+    tel.count("triple.calls")
+    tel.record_span("triple.compute", float(x), float(x) + 1.0)
     return x * 3
 
 
@@ -152,6 +162,46 @@ def test_interrupted_map_resumes_byte_identically(tmp_path, workers):
                               workers=workers, report=report)
     assert result == [_triple(x) for x in items]
     assert report.checkpoint_hits == 5
+
+
+def test_checkpointed_map_traces_identically_with_and_without_journal(
+    tmp_path,
+):
+    """Journal keys become telemetry tracks even when no journal is
+    attached, so turning checkpointing on or off never changes the
+    trace bytes."""
+    items, keys = [1, 2, 3], ["k1", "k2", "k3"]
+    with session() as unjournaled:
+        checkpointed_map(_traced_triple, items, keys, None, workers=2)
+    journal = ShardJournal(tmp_path, run_key("t", 0)).open()
+    with session() as journaled:
+        checkpointed_map(_traced_triple, items, keys, journal, workers=2)
+    assert export_jsonl(journaled) == export_jsonl(unjournaled)
+    assert {record.track for record in journaled.records} == set(keys)
+
+
+def test_journal_key_carries_telemetry_marker(tmp_path):
+    """A journal written with telemetry active stores carriers, one
+    written without stores bare values — the run key keeps the two
+    modes from consuming each other's entries."""
+    key = run_key("t", 1)
+    plain = ShardJournal(tmp_path, key).open()
+    with session():
+        observed = ShardJournal(tmp_path, key).open()
+    assert observed.key != plain.key
+    assert observed.key.endswith("+telemetry")
+
+
+def test_checkpoint_restore_advisory_event_emitted(tmp_path):
+    items, keys = [1, 2], ["a", "b"]
+    with session():
+        journal = ShardJournal(tmp_path, run_key("t", 2)).open()
+        checkpointed_map(_traced_triple, items, keys, journal, workers=1)
+    with session() as resumed:
+        journal = ShardJournal(tmp_path, run_key("t", 2)).open(resume=True)
+        checkpointed_map(_traced_triple, items, keys, journal, workers=1)
+    names = [name for name, _ in resumed.advisory]
+    assert names.count("checkpoint.restore") == 2
 
 
 # ------------------------------------------------ sweep-level invariants

@@ -35,6 +35,7 @@ from repro.parallel import (
     resolve_workers,
 )
 from repro.sim.engine import ExecutionEngine
+from repro.telemetry import current, export_jsonl, session
 
 
 # ---------------------------------------------------------------- executor
@@ -212,6 +213,44 @@ def test_execution_report_merge_and_describe():
     text = merged.describe()
     assert "worker crash" in text or "crash" in text
     assert "pool broke" in text
+
+
+def _traced_die_in_worker(x):
+    """Crash the worker on item 13 *after* it recorded telemetry in an
+    earlier attempt's doomed process; the retried/in-process run's
+    records are the only ones that reach the parent."""
+    tel = current()
+    with tel.track(f"work/{x}"):
+        tel.count("work.calls")
+        if x == 13 and multiprocessing.parent_process() is not None:
+            os._exit(87)
+        tel.record_span("work.compute", float(x), float(x) + 1.0)
+    return x * x
+
+
+def test_telemetry_unperturbed_by_worker_crashes():
+    """Supervision noise (crashes, retries, pool rebuilds) lands on the
+    advisory channel only: the deterministic export equals a clean
+    serial run's even when workers died mid-sweep."""
+    items = list(range(20))
+    with session() as clean:
+        assert parallel_map(_traced_die_in_worker, items, workers=1) \
+            == [x * x for x in items]
+    report = ExecutionReport()
+    with session() as crashed:
+        result = parallel_map(_traced_die_in_worker, items, workers=4,
+                              report=report)
+    assert result == [x * x for x in items]
+    assert report.worker_crashes >= 1
+    assert export_jsonl(crashed) == export_jsonl(clean)
+    assert any(name == "executor.worker-crash"
+               for name, _ in crashed.advisory)
+
+
+def test_parallel_map_validates_shard_tracks_length():
+    with session():
+        with pytest.raises(ValueError, match="one shard track per item"):
+            parallel_map(_square, [1, 2], workers=1, shard_tracks=["only"])
 
 
 # ------------------------------------------------------- per-app seeding
