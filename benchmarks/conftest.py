@@ -4,8 +4,18 @@ Each benchmark regenerates one of the paper's tables or figures at
 full (scaled) fidelity, asserts the headline shape, and archives the
 rendered output under ``benchmarks/results/`` so the numbers can be
 inspected after a run.
+
+Perf-trajectory benchmarks additionally record named measurements via
+the :func:`bench_record` fixture; at the end of the session these are
+written to ``benchmarks/results/BENCH_<group>.json`` and compared (in
+CI, via ``tools/bench_compare.py``) against the committed baselines
+``benchmarks/BENCH_<group>.json``.  Set ``REPRO_BENCH_WRITE=1`` to
+refresh the committed baselines in place (``tools/bench_refresh.py``
+does exactly that).
 """
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -13,6 +23,10 @@ import pytest
 from repro.sim.device import LG_V10
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_DIR = pathlib.Path(__file__).parent
+
+#: Version stamp for the BENCH_*.json layout.
+BENCH_SCHEMA = 1
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +46,36 @@ def archive():
         return path
 
     return save
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Callable that records one perf-trajectory measurement.
+
+    ``bench_record(group, name, value, unit=..., higher_is_better=...,
+    tolerance=...)`` files the entry under ``BENCH_<group>.json``.
+    ``tolerance`` is the relative regression band checked by
+    ``tools/bench_compare.py`` (0.25 = fail if 25% worse than the
+    committed baseline); pass ``None`` for informational entries such
+    as machine-dependent absolute timings that should be tracked but
+    never gate CI.
+    """
+    groups = {}
+
+    def record(group, name, value, *, unit, higher_is_better, tolerance):
+        groups.setdefault(group, {})[name] = {
+            "value": round(float(value), 6),
+            "unit": unit,
+            "higher_is_better": bool(higher_is_better),
+            "tolerance": tolerance,
+        }
+
+    yield record
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for group, entries in sorted(groups.items()):
+        payload = {"schema": BENCH_SCHEMA, "entries": dict(sorted(entries.items()))}
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        (RESULTS_DIR / f"BENCH_{group}.json").write_text(text)
+        if os.environ.get("REPRO_BENCH_WRITE"):
+            (BENCH_DIR / f"BENCH_{group}.json").write_text(text)

@@ -84,7 +84,7 @@ def test_counter_model_filter_only_throughput(benchmark, device):
     assert tuple(counts) == FILTER_EVENTS
 
 
-def test_counter_model_lazy_speedup(device):
+def test_counter_model_lazy_speedup(device, bench_record):
     """Filter-events-only sampling must be at least 3x faster than the
     full 46-event model.  Timed with min-of-repeats so one scheduler
     hiccup on a loaded CI box cannot fail the assertion."""
@@ -113,6 +113,89 @@ def test_counter_model_lazy_speedup(device):
     full = best_time(CounterModel(device))
     lazy = best_time(CounterModel(device, events=FILTER_EVENTS))
     speedup = full / lazy
+    bench_record(
+        "engine", "counter_model.lazy_speedup_x", speedup,
+        unit="x", higher_is_better=True, tolerance=0.25,
+    )
     assert speedup >= 3.0, (
         f"lazy counter mode only {speedup:.2f}x faster than full mode"
+    )
+
+
+def _best_pair_ms(device, *, counter_events, actions=200, reps=7):
+    """Best-of-repeats wall time per run_action for the reference and
+    columnar paths, in milliseconds: ``(reference_ms, columnar_ms)``.
+
+    A fresh engine per repeat so caches warm identically every time;
+    the two paths alternate within each repeat so load spikes on a
+    busy CI box hit both sides of the ratio, and min-of-repeats drops
+    any repeat that was hit anyway.
+    """
+    import time
+
+    app = get_app("K9-mail")
+    plan = [app.actions[i % len(app.actions)] for i in range(actions)]
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(reps):
+        for columnar in (False, True):
+            engine = ExecutionEngine(
+                device, seed=7, counter_events=counter_events,
+                columnar=columnar,
+            )
+            started = time.perf_counter()
+            for action in plan:
+                engine.run_action(app, action)
+            best[columnar] = min(
+                best[columnar], time.perf_counter() - started
+            )
+    scale = 1000.0 / actions
+    return best[False] * scale, best[True] * scale
+
+
+def test_engine_columnar_full_mode_speedup(device, bench_record):
+    """End-to-end full-mode (all 46 events) speedup of the columnar
+    core over the seed-shaped reference path.  The two paths render
+    byte-identical output (tests/test_columnar.py), so this ratio is a
+    pure measure of the batched segment construction."""
+    reference, columnar = _best_pair_ms(device, counter_events=None)
+    speedup = reference / columnar
+    bench_record(
+        "engine", "full_mode.reference_ms_per_action", reference,
+        unit="ms", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "engine", "full_mode.columnar_ms_per_action", columnar,
+        unit="ms", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "engine", "full_mode.speedup_x", speedup,
+        unit="x", higher_is_better=True, tolerance=0.25,
+    )
+    assert speedup >= 1.5, (
+        f"columnar full mode only {speedup:.2f}x faster than reference"
+    )
+
+
+def test_engine_columnar_filter_only_speedup(device, bench_record):
+    """End-to-end filter-only (lazy, S-Checker's three events) speedup
+    of the columnar core over the seed-shaped reference path — the
+    fleet's hot configuration."""
+    from repro.sim.counters import FILTER_EVENTS
+
+    reference, columnar = _best_pair_ms(device, counter_events=FILTER_EVENTS)
+    speedup = reference / columnar
+    bench_record(
+        "engine", "filter_only.reference_ms_per_action", reference,
+        unit="ms", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "engine", "filter_only.columnar_ms_per_action", columnar,
+        unit="ms", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "engine", "filter_only.speedup_x", speedup,
+        unit="x", higher_is_better=True, tolerance=0.25,
+    )
+    assert speedup >= 3.0, (
+        f"columnar filter-only mode only {speedup:.2f}x faster than reference"
     )

@@ -30,3 +30,41 @@ def test_fleet_sharded_output_identical(device):
     serial = table5(device, workers=1, **FLEET_KWARGS)
     sharded = table5(device, workers=4, **FLEET_KWARGS)
     assert sharded.render() == serial.render()
+
+
+def test_fleet_trajectory(device, bench_record):
+    """Record the scaled Table 5 fleet wall time for the perf
+    trajectory (BENCH_fleet.json).
+
+    Absolute wall times are machine-dependent, so these entries are
+    informational (tolerance=None) — the gating ratios live in
+    BENCH_engine.json.  The serial/sharded pair is still worth
+    tracking: a regression in the shard-merge path shows up here first.
+    """
+    import time
+
+    def best_seconds(workers, reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = table5(device, workers=workers, **FLEET_KWARGS)
+            best = min(best, time.perf_counter() - started)
+            assert result.apps_tested == FLEET_KWARGS["corpus_size"]
+        return best
+
+    serial = best_seconds(1)
+    sharded = best_seconds(2)
+    actions = FLEET_KWARGS["users"] * FLEET_KWARGS["actions_per_user"]
+    total_actions = actions * FLEET_KWARGS["corpus_size"]
+    bench_record(
+        "fleet", "table5.serial_s", serial,
+        unit="s", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "fleet", "table5.sharded_s", sharded,
+        unit="s", higher_is_better=False, tolerance=None,
+    )
+    bench_record(
+        "fleet", "table5.serial_actions_per_s", total_actions / serial,
+        unit="actions/s", higher_is_better=True, tolerance=None,
+    )

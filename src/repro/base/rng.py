@@ -36,6 +36,67 @@ def stream(seed, *keys):
     return np.random.Generator(np.random.PCG64(words))
 
 
+def pooled_stream():
+    """A :class:`numpy.random.Generator` meant to be re-keyed in place
+    with :func:`reseed` between uses (one per owner, not shared across
+    threads)."""
+    return np.random.Generator(np.random.PCG64(0))
+
+
+def reseed(generator, seed, *keys):
+    """Re-key *generator* (a PCG64-backed Generator) in place for
+    (seed, keys).
+
+    A fresh :func:`stream` pays SeedSequence entropy mixing plus
+    bit-generator and Generator construction on every call; a hot loop
+    that needs one short-lived stream per item can instead keep one
+    :func:`pooled_stream` and re-key it.  The digest bytes are written
+    directly into the PCG64 state and (odd-forced) increment, which is
+    a different state derivation from :func:`stream`'s SeedSequence
+    path — a reseeded stream is deterministic and unique per
+    (seed, keys) but not sample-identical to ``stream(seed, *keys)``.
+    """
+    return _rekey(generator, _digest(seed, keys))
+
+
+def digest_prefix(seed, *keys):
+    """Precompute the hash prefix shared by a family of reseed keys.
+
+    ``reseed_prefixed(gen, digest_prefix(s, a, b), c)`` lands on exactly
+    the same state as ``reseed(gen, s, a, b, c)`` — the sha256 update
+    sequence is byte-identical — but a hot loop that varies only the
+    trailing key hashes just that key per call.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(seed).encode("utf-8"))
+    for key in keys:
+        hasher.update(b"\x00")
+        hasher.update(str(key).encode("utf-8"))
+    return hasher
+
+
+def reseed_prefixed(generator, prefix, *keys):
+    """Like :func:`reseed`, continuing from a :func:`digest_prefix`."""
+    hasher = prefix.copy()
+    for key in keys:
+        hasher.update(b"\x00")
+        hasher.update(str(key).encode("utf-8"))
+    return _rekey(generator, hasher.digest())
+
+
+def _rekey(generator, digest):
+    generator.bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": int.from_bytes(digest[:16], "little"),
+            "inc": int.from_bytes(digest[16:], "little") | 1,
+        },
+        "has_uint32": 0,
+        "uinteger": 0,
+    }
+    return generator
+
+
 def substream_seed(seed, *keys):
     """Return a 64-bit integer seed derived from (seed, keys).
 

@@ -92,11 +92,16 @@ class Looper:
             return None
         message = self._queue.popleft()
         dispatch_ms = max(now_ms, message.enqueue_ms)
-        self._log(f"{DISPATCH_PREFIX}{message.target}", dispatch_ms)
+        # Build the Android-style log lines only when a printer is
+        # actually installed — the engine's private loopers have none.
+        printers = self._printers
+        if printers:
+            self._log(f"{DISPATCH_PREFIX}{message.target}", dispatch_ms)
         finish_ms = handler(message, dispatch_ms)
         if finish_ms < dispatch_ms:
             raise ValueError("handler returned a finish time before dispatch")
-        self._log(f"{FINISH_PREFIX}{message.target}", finish_ms)
+        if printers:
+            self._log(f"{FINISH_PREFIX}{message.target}", finish_ms)
         return DispatchRecord(
             message=message, dispatch_ms=dispatch_ms, finish_ms=finish_ms
         )

@@ -53,3 +53,41 @@ def segment_faults(kind, pages, rng):
         fraction = min(0.5, float(rng.beta(0.4, 0.4 / fraction - 0.4)))
     major = int(rng.binomial(total, fraction))
     return FaultCounts(minor=total - major, major=major)
+
+
+def batch_faults(kinds, pages, rng):
+    """Pooled-draw :func:`segment_faults` over a whole batch.
+
+    *pages* and *kinds* are parallel lists.  Returns ``(minor, major)``
+    lists of ints.
+
+    The draw layout differs from the scalar path (pooled poisson
+    vector, then one beta per kind-with-major-faults segment regardless
+    of its fault total, then a pooled binomial) — batch callers are
+    lazy-mode only.
+    """
+    totals = rng.poisson([p if p > 0 else 0 for p in pages]).tolist()
+    fractions = batch_fault_fractions(kinds, rng)
+    major = rng.binomial(totals, fractions).tolist()
+    minor = [total - m for total, m in zip(totals, major)]
+    return minor, major
+
+
+def batch_fault_fractions(kinds, rng):
+    """Major-fault fractions for a batch, one pooled beta draw over the
+    segments whose kind produces major faults at all.  Split out of
+    :func:`batch_faults` so a caller can pool the surrounding poisson
+    and binomial draws with other draws of the same kind."""
+    fractions = [0.0] * len(kinds)
+    bursty = [
+        (index, _MAJOR_FRACTION[kind])
+        for index, kind in enumerate(kinds)
+        if _MAJOR_FRACTION[kind] > 0
+    ]
+    if bursty:
+        betas = rng.beta(
+            0.4, [0.4 / fraction - 0.4 for _, fraction in bursty]
+        ).tolist()
+        for (index, _), beta in zip(bursty, betas):
+            fractions[index] = beta if beta < 0.5 else 0.5
+    return fractions

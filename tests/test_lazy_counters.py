@@ -1,11 +1,12 @@
 """Lazy-evaluation mode of the counter model.
 
 A :class:`~repro.sim.counters.CounterModel` built with an *events*
-restriction computes only the requested events; the block of 37 PMU
-draws is skipped entirely for kernel-only sets.  These tests pin the
-contract: restricted keys, strict validation, determinism per (seed,
-event set), and an engine wired for filter-events-only monitoring
-still detecting hangs.
+restriction computes only the requested events: kernel-only sets skip
+the PMU block (and its DVFS draw) outright, and a partial PMU set
+computes just the dependency closure of the requested events with one
+pooled factor draw.  These tests pin the contract: restricted keys,
+strict validation, determinism per (seed, event set), and an engine
+wired for filter-events-only monitoring still detecting hangs.
 """
 
 import pytest

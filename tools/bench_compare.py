@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Compare freshly emitted BENCH_*.json files against committed baselines.
+
+The benchmark suite writes its perf-trajectory measurements to
+``benchmarks/results/BENCH_<group>.json`` (see the ``bench_record``
+fixture in ``benchmarks/conftest.py``).  This script compares them with
+the committed baselines ``benchmarks/BENCH_<group>.json`` and exits
+non-zero if any gated entry regressed beyond its tolerance band.
+
+Rules, per entry:
+
+- ``tolerance: null`` entries are informational — printed, never gated
+  (absolute wall times vary across machines; the gated entries are
+  machine-independent ratios such as columnar-vs-reference speedups).
+- Otherwise the relative change in the *worse* direction (sign decided
+  by ``higher_is_better``) must stay within ``tolerance``.
+- A baseline entry missing from the fresh results is an error: a
+  silently skipped benchmark must not read as a pass.
+- A fresh entry missing from the baseline is reported as new (run
+  ``tools/bench_refresh.py`` to adopt it).
+
+Usage::
+
+    python tools/bench_compare.py [--baseline benchmarks] \
+        [--current benchmarks/results]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_entries(path):
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != 1:
+        raise SystemExit(f"{path}: unknown BENCH schema {payload.get('schema')!r}")
+    return payload["entries"]
+
+
+def compare_file(baseline_path, current_path):
+    """Return (lines, failures) for one BENCH file pair."""
+    lines = []
+    failures = []
+    baseline = load_entries(baseline_path)
+    if not current_path.exists():
+        failures.append(
+            f"{current_path} was not emitted — did the benchmark suite run?"
+        )
+        return lines, failures
+    current = load_entries(current_path)
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{baseline_path.name}: entry {name!r} missing from fresh run")
+            continue
+        cur = current[name]
+        base_value = base["value"]
+        cur_value = cur["value"]
+        if base["higher_is_better"]:
+            worse_by = (base_value - cur_value) / base_value
+        else:
+            worse_by = (cur_value - base_value) / base_value
+        tolerance = base["tolerance"]
+        gated = tolerance is not None
+        status = "info"
+        if gated:
+            status = "FAIL" if worse_by > tolerance else "ok"
+        lines.append(
+            f"  {status:<4} {name:<40} base={base_value:g}{base['unit']} "
+            f"now={cur_value:g}{cur['unit']} "
+            f"({'-' if worse_by > 0 else '+'}{abs(worse_by) * 100.0:.1f}%"
+            f"{f', band {tolerance * 100.0:.0f}%' if gated else ''})"
+        )
+        if gated and worse_by > tolerance:
+            failures.append(
+                f"{baseline_path.name}: {name} regressed "
+                f"{worse_by * 100.0:.1f}% (> {tolerance * 100.0:.0f}% band): "
+                f"{base_value:g} -> {cur_value:g} {cur['unit']}"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"  new  {name:<40} now={current[name]['value']:g}"
+                     f"{current[name]['unit']} (not in baseline)")
+    return lines, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="benchmarks", type=pathlib.Path,
+                        help="directory with committed BENCH_*.json files")
+    parser.add_argument("--current", default="benchmarks/results",
+                        type=pathlib.Path,
+                        help="directory with freshly emitted BENCH_*.json files")
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        raise SystemExit(f"no BENCH_*.json baselines under {args.baseline}")
+    all_failures = []
+    for baseline_path in baseline_files:
+        current_path = args.current / baseline_path.name
+        print(baseline_path.name)
+        lines, failures = compare_file(baseline_path, current_path)
+        for line in lines:
+            print(line)
+        all_failures.extend(failures)
+    if all_failures:
+        print("\nperf trajectory regressions:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf trajectory within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

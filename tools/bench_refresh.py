@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Refresh the committed BENCH_*.json perf-trajectory baselines.
+
+Runs the trajectory benchmarks with ``REPRO_BENCH_WRITE=1`` so the
+``bench_record`` fixture rewrites ``benchmarks/BENCH_<group>.json`` in
+place (in addition to the per-run copies under ``benchmarks/results/``).
+Run this on an otherwise idle machine after an intentional perf change,
+inspect the diff, and commit the updated baselines.
+
+Usage::
+
+    python tools/bench_refresh.py [extra pytest args...]
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY_TESTS = [
+    "benchmarks/test_engine_perf.py",
+    "benchmarks/test_fleet_parallel.py",
+]
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    env = dict(os.environ)
+    env["REPRO_BENCH_WRITE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    command = [
+        sys.executable, "-m", "pytest", "-q", "--benchmark-disable",
+        *TRAJECTORY_TESTS, *argv,
+    ]
+    print("+", " ".join(command))
+    result = subprocess.run(command, cwd=REPO, env=env)
+    if result.returncode:
+        return result.returncode
+    for path in sorted(REPO.glob("benchmarks/BENCH_*.json")):
+        print(f"\n{path.relative_to(REPO)}:")
+        print(path.read_text(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
