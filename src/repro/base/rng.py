@@ -105,3 +105,56 @@ def substream_seed(seed, *keys):
     """
     digest = _digest(seed, keys)
     return int.from_bytes(digest[:8], "little")
+
+
+class SeededBackoff:
+    """Deterministic retry backoff: exponential growth, decorrelated jitter.
+
+    Retry storms are the classic way a fleet turns one outage into
+    two, so every retry loop in the repo (the serve client's upload
+    retries, the counter-read retry in :mod:`repro.core`) draws its
+    delays from one of these instead of ``random``/wall clock.  The
+    schedule follows the decorrelated-jitter rule — each delay is
+    uniform on ``[base, min(cap, 3 * previous)]`` — which keeps the
+    exponential envelope of plain backoff while decorrelating
+    concurrent clients, and every draw comes from the keyed stream
+    ``(seed, "backoff", *keys, attempt)``, so:
+
+    * the same (seed, keys) replays the identical delay sequence on
+      every run — retry timing is part of the reproducible record;
+    * two clients with different keys decorrelate fully even under one
+      root seed (no thundering herd after a shared failure);
+    * every delay is bounded: ``base_ms <= delay <= cap_ms``.
+
+    :meth:`reset` rewinds the schedule after a success so the next
+    failure starts the envelope from ``base_ms`` again (the attempt
+    counter keeps advancing, so replayed delays never repeat draws).
+    """
+
+    def __init__(self, seed, *keys, base_ms=100.0, cap_ms=30_000.0):
+        if base_ms <= 0.0:
+            raise ValueError(f"base_ms must be > 0, got {base_ms}")
+        if cap_ms < base_ms:
+            raise ValueError(
+                f"cap_ms must be >= base_ms ({base_ms}), got {cap_ms}"
+            )
+        self.base_ms = float(base_ms)
+        self.cap_ms = float(cap_ms)
+        self._seed = seed
+        self._keys = tuple(keys)
+        self._attempt = 0
+        self._prev_ms = None
+
+    def next_ms(self):
+        """The next delay in milliseconds (advances the schedule)."""
+        self._attempt += 1
+        rng = stream(self._seed, "backoff", *self._keys, self._attempt)
+        prev = self._prev_ms if self._prev_ms is not None else self.base_ms
+        high = min(self.cap_ms, 3.0 * prev)
+        delay = self.base_ms + (high - self.base_ms) * float(rng.random())
+        self._prev_ms = delay
+        return delay
+
+    def reset(self):
+        """Rewind the envelope to ``base_ms`` (call after a success)."""
+        self._prev_ms = None

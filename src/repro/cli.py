@@ -12,6 +12,8 @@ runs Hang Doctor over the synthetic fleet from a shell:
 * ``testbed`` — lab-vs-wild bug coverage (§4.6)
 * ``chaos`` — detection quality under injected monitoring faults
 * ``crowd`` — fleet-size sweep of the crowd backend's diagnosis savings
+* ``serve`` — run the live crowd ingestion service (HTTP, WAL-backed)
+* ``serve-bench`` — stress the ingestion service with a device fleet
 """
 
 import argparse
@@ -216,6 +218,85 @@ def cmd_crowd(args):
     _dump_report_json(args, result.execution)
 
 
+def cmd_serve(args):
+    """Run the live crowd ingestion service until SIGTERM/SIGINT."""
+    import asyncio
+    import signal
+
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.serve import IngestService
+
+    faults = None
+    if args.torn_write_rate > 0.0:
+        faults = FaultInjector(
+            FaultPlan(torn_write_rate=args.torn_write_rate),
+            seed=args.seed, scope=("serve",),
+        )
+
+    async def _run():
+        service = await IngestService(
+            args.state_dir, host=args.host, port=args.port,
+            max_queue=args.max_queue, snapshot_every=args.snapshot_every,
+            tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst,
+            faults=faults,
+        ).start()
+        loop = asyncio.get_running_loop()
+        stopping = loop.create_future()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum,
+                lambda: None if stopping.done()
+                else stopping.set_result(None),
+            )
+        # Printed only once signal handlers are live: "serving on" in
+        # the log means a TERM now drains instead of killing.
+        print(f"serving on {service.address} "
+              f"(state: {args.state_dir}, "
+              f"replayed {service.state.replayed} from WAL)", flush=True)
+        await stopping
+        print("draining...", flush=True)
+        await service.stop()
+        print(f"stopped: {service.stats['ingested']} ingested, "
+              f"{service.stats['duplicates']} duplicates, "
+              f"{service.stats['publishes']} publish(es)", flush=True)
+
+    asyncio.run(_run())
+
+
+def cmd_serve_bench(args):
+    """Drive a simulated device fleet against the ingestion service."""
+    from repro.serve import run_bench
+
+    connect = None
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        connect = (host or "127.0.0.1", int(port))
+    report = run_bench(
+        args.state_dir, devices=args.devices, rounds=args.rounds,
+        seed=args.seed, mode=args.mode,
+        apps=tuple(args.apps.split(",")) if args.apps else None,
+        actions=args.actions, device_profile=_device(args.device),
+        workers=args.workers, concurrency=args.concurrency,
+        fault_rate=args.fault_rate,
+        request_delay_ms=args.request_delay_ms, connect=connect,
+        max_queue=args.max_queue, tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        snapshot_every=args.snapshot_every,
+        sleep_scale=args.sleep_scale, max_attempts=args.max_attempts,
+        baseline_out=args.baseline_out,
+    )
+    print(report.render())
+    if report.undelivered:
+        raise SystemExit(
+            f"{len(report.undelivered)} undelivered batch(es), e.g. "
+            f"{report.undelivered[:3]}"
+        )
+    if report.snapshot_matches is False:
+        raise SystemExit(
+            "published snapshot does not match the batch baseline"
+        )
+
+
 def cmd_filter(args):
     """Regenerate the filter-design analyses (Tables 3-4)."""
     from repro.harness.exp_filter import table3, table4
@@ -405,6 +486,72 @@ def build_parser():
     add_checkpoint_flags(crowd)
     add_observability_flags(crowd)
     crowd.set_defaults(func=cmd_crowd)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live crowd ingestion service (HTTP, WAL-backed)",
+    )
+    serve.add_argument("state_dir",
+                       help="directory for snapshot.json + wal.jsonl")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = pick a free one)")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="bound on batches queued for the fsync "
+                            "pipeline; beyond it uploads shed with 429")
+    serve.add_argument("--snapshot-every", type=int, default=512,
+                       help="publish a snapshot every N applied batches")
+    serve.add_argument("--tenant-rate", type=float, default=0.0,
+                       help="per-tenant admitted batches per second "
+                            "(0 disables the token-bucket gate)")
+    serve.add_argument("--tenant-burst", type=int, default=32)
+    serve.add_argument("--torn-write-rate", type=float, default=0.0,
+                       help="inject torn snapshot/WAL writes at this "
+                            "rate (recovery drill)")
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="stress the ingestion service with a simulated fleet",
+    )
+    bench.add_argument("state_dir", nargs="?", default="serve-state",
+                       help="state directory for the in-process server "
+                            "(unused with --connect)")
+    bench.add_argument("--devices", type=int, default=200)
+    bench.add_argument("--rounds", type=int, default=2)
+    bench.add_argument("--mode", choices=("synthetic", "real"),
+                       default="synthetic",
+                       help="synthetic: cheap seeded batches at fleet "
+                            "scale; real: full Hang Doctor device "
+                            "rounds (crowd_sweep's baseline path)")
+    bench.add_argument("--apps", default=None,
+                       help="comma-separated catalog apps (real mode)")
+    bench.add_argument("--actions", type=int, default=12,
+                       help="actions per device round (real mode)")
+    bench.add_argument("--concurrency", type=int, default=32,
+                       help="devices uploading at once")
+    bench.add_argument("--fault-rate", type=float, default=0.0,
+                       help="network fault rate (drop/delay/reset/"
+                            "corrupt, each)")
+    bench.add_argument("--request-delay-ms", type=float, default=5.0)
+    bench.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="drive an externally managed server instead "
+                            "of spawning one in-process")
+    bench.add_argument("--max-queue", type=int, default=64,
+                       help="in-process server queue bound")
+    bench.add_argument("--tenant-rate", type=float, default=0.0)
+    bench.add_argument("--tenant-burst", type=int, default=32)
+    bench.add_argument("--snapshot-every", type=int, default=512)
+    bench.add_argument("--sleep-scale", type=float, default=0.05,
+                       help="multiplier on backoff sleeps (compresses "
+                            "simulated delays; decisions unchanged)")
+    bench.add_argument("--max-attempts", type=int, default=25)
+    bench.add_argument("--baseline-out", default=None, metavar="PATH",
+                       help="write the batch-baseline snapshot JSON to "
+                            "PATH (for external byte-comparison)")
+    bench.add_argument("--workers", type=_workers, default=1,
+                       help=workers_help)
+    bench.set_defaults(func=cmd_serve_bench)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
     filt.set_defaults(func=cmd_filter)

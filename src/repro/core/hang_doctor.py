@@ -30,6 +30,7 @@ the Hang Bug Report; no injected fault ever raises out of
 :meth:`process`.
 """
 
+from repro.base.rng import SeededBackoff
 from repro.core.blocking_db import BlockingApiDatabase
 from repro.core.config import HangDoctorConfig
 from repro.core.diagnoser import Diagnoser
@@ -90,6 +91,13 @@ class HangDoctor(Detector):
         self.metrics = MetricsRegistry()
         self._consecutive_counter_failures = 0
         self._quarantines_reported = set()
+        #: Seeded retry schedule for transient counter-read failures:
+        #: the delays a real deployment would sleep between attempts,
+        #: bookkept in ``cost.retry_backoff_ms`` (deterministic per
+        #: seed/app, drawn only when a retry actually happens).
+        self._counter_backoff = SeededBackoff(
+            seed, "counter-retry", app.name, base_ms=5.0, cap_ms=200.0
+        )
 
     # ------------------------------------------------------------------
 
@@ -224,15 +232,23 @@ class HangDoctor(Detector):
         Returns the SymptomCheck, or None when every attempt failed.
         Each attempt (including failures) is a real syscall charged to
         ``counter_reads``; a permanent failure stops retrying early.
+        Each retry is preceded by a seeded backoff delay
+        (:class:`~repro.base.rng.SeededBackoff`) charged to
+        ``retry_backoff_ms`` — the deterministic record of what a real
+        deployment would have slept.
         """
         attempts = 1 + self.config.counter_read_retries
-        for _ in range(attempts):
+        for attempt in range(attempts):
             try:
                 check = self.schecker.check(execution)
             except TransientCounterError:
                 outcome.cost.counter_reads += 1
                 outcome.cost.counter_read_failures += 1
                 self._meter("core.schecker.read_failures")
+                if attempt + 1 < attempts:
+                    outcome.cost.retry_backoff_ms += (
+                        self._counter_backoff.next_ms()
+                    )
                 continue
             except CounterUnavailableError:
                 outcome.cost.counter_reads += 1
@@ -241,6 +257,7 @@ class HangDoctor(Detector):
                 break
             outcome.cost.counter_reads += 1
             self._consecutive_counter_failures = 0
+            self._counter_backoff.reset()
             return check
         self._consecutive_counter_failures += 1
         if (self._consecutive_counter_failures

@@ -25,6 +25,8 @@ from repro.crowd.aggregator import (
 from repro.crowd.store import (
     aggregator_from_json,
     aggregator_to_json,
+    batch_from_dict,
+    batch_to_dict,
     load_aggregator,
     save_aggregator,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "ReportBatch",
     "aggregator_from_json",
     "aggregator_to_json",
+    "batch_from_dict",
+    "batch_to_dict",
     "load_aggregator",
     "save_aggregator",
 ]

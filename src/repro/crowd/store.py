@@ -13,6 +13,20 @@ a crashed ingestion service is not.
 Serialization folds batches in sorted-id order, so two aggregators
 with equal contents — however their batches arrived — always
 serialize byte-identically.
+
+Interplay with the serve-side write-ahead journal
+(:mod:`repro.serve.wal`): the ingestion service persists a snapshot
+through :func:`save_aggregator` *plus* a WAL of batches acknowledged
+since that snapshot.  Both writes run through the ``torn_write_rate``
+seam, and recovery composes their two guarantees — a torn snapshot
+write leaves the previous complete snapshot untouched
+(:func:`~repro.core.persistence.atomic_write_text` renames only after
+fsync), and a torn WAL append is detected by its record checksum and
+cut at the last intact record — so a restart always lands on the last
+consistent state, never a half-applied batch.  Batches are applied
+whole (:func:`batch_from_dict` validates before
+:meth:`~repro.crowd.aggregator.CrowdAggregator.ingest` runs), which is
+what "never half-applied" means at this layer.
 """
 
 import json
@@ -24,45 +38,93 @@ from repro.crowd.aggregator import BugObservation, CrowdAggregator, ReportBatch
 CROWD_SCHEMA_VERSION = SCHEMA_VERSION
 
 
+def batch_to_dict(batch):
+    """The canonical wire form of one :class:`ReportBatch`.
+
+    Shared by the aggregator snapshot, the serve WAL records, and the
+    HTTP upload body (see :mod:`repro.serve`), so a batch round-trips
+    identically through every path.
+    """
+    return {
+        "batch_id": batch.batch_id,
+        "app": batch.app_name,
+        "device": batch.device_id,
+        "time_ms": batch.time_ms,
+        "observations": [
+            {
+                "signature": obs.signature,
+                "action": obs.action,
+                "operation": obs.operation,
+                "file": obs.file,
+                "line": obs.line,
+                "self_developed": obs.is_self_developed,
+                "occurrences": obs.occurrences,
+                "total_hang_ms": obs.total_hang_ms,
+                "max_occurrence_factor": obs.max_occurrence_factor,
+            }
+            for obs in batch.observations
+        ],
+    }
+
+
+def batch_from_dict(raw):
+    """Rebuild one :class:`ReportBatch` from its wire form.
+
+    Raises ValueError (naming the offending key) on malformed input —
+    the shared validation path for snapshots, WAL records, and HTTP
+    upload bodies.
+    """
+    observations = []
+    for obs in _field(raw, "observations", "crowd batch"):
+        observations.append(BugObservation(
+            signature=_field(obs, "signature", "crowd observation"),
+            action=_field(obs, "action", "crowd observation"),
+            operation=_field(obs, "operation", "crowd observation"),
+            file=_field(obs, "file", "crowd observation"),
+            line=_field(obs, "line", "crowd observation"),
+            is_self_developed=_field(
+                obs, "self_developed", "crowd observation"
+            ),
+            occurrences=_field(obs, "occurrences", "crowd observation"),
+            total_hang_ms=_field(
+                obs, "total_hang_ms", "crowd observation"
+            ),
+            max_occurrence_factor=_field(
+                obs, "max_occurrence_factor", "crowd observation"
+            ),
+        ))
+    return ReportBatch(
+        batch_id=_field(raw, "batch_id", "crowd batch"),
+        app_name=_field(raw, "app", "crowd batch"),
+        device_id=_field(raw, "device", "crowd batch"),
+        time_ms=_field(raw, "time_ms", "crowd batch"),
+        observations=tuple(observations),
+    )
+
+
 def aggregator_to_json(aggregator):
     """Serialize a crowd aggregator (canonical batch order)."""
-    batches = []
-    for batch in aggregator.batches():
-        batches.append({
-            "batch_id": batch.batch_id,
-            "app": batch.app_name,
-            "device": batch.device_id,
-            "time_ms": batch.time_ms,
-            "observations": [
-                {
-                    "signature": obs.signature,
-                    "action": obs.action,
-                    "operation": obs.operation,
-                    "file": obs.file,
-                    "line": obs.line,
-                    "self_developed": obs.is_self_developed,
-                    "occurrences": obs.occurrences,
-                    "total_hang_ms": obs.total_hang_ms,
-                    "max_occurrence_factor": obs.max_occurrence_factor,
-                }
-                for obs in batch.observations
-            ],
-        })
     return json.dumps({
         "schema": CROWD_SCHEMA_VERSION,
-        "batches": batches,
+        "batches": [
+            batch_to_dict(batch) for batch in aggregator.batches()
+        ],
     }, indent=2)
 
 
-def save_aggregator(path, aggregator, faults=None):
+def save_aggregator(path, aggregator, faults=None, label=None):
     """Crash-atomically persist the crowd aggregator to *path*.
 
     Uses :func:`repro.core.persistence.atomic_write_text` (temp file +
     fsync + rename), so a crashed ingestion service restarts from the
     last complete snapshot instead of the torn file
-    :func:`load_aggregator` would have to recover from.
+    :func:`load_aggregator` would have to recover from.  *label* keys
+    the ``torn_write`` fault seam; pass one that varies per write
+    (e.g. the batch count) when the same path is rewritten repeatedly,
+    so the keyed verdict does not pin every rewrite identically.
     """
-    atomic_write_text(path, aggregator_to_json(aggregator), faults=faults)
+    atomic_write_text(path, aggregator_to_json(aggregator), faults=faults,
+                      label=label)
 
 
 def aggregator_from_json(text):
@@ -88,32 +150,7 @@ def aggregator_from_json(text):
         )
     aggregator = CrowdAggregator()
     for raw in batches:
-        observations = []
-        for obs in _field(raw, "observations", "crowd batch"):
-            observations.append(BugObservation(
-                signature=_field(obs, "signature", "crowd observation"),
-                action=_field(obs, "action", "crowd observation"),
-                operation=_field(obs, "operation", "crowd observation"),
-                file=_field(obs, "file", "crowd observation"),
-                line=_field(obs, "line", "crowd observation"),
-                is_self_developed=_field(
-                    obs, "self_developed", "crowd observation"
-                ),
-                occurrences=_field(obs, "occurrences", "crowd observation"),
-                total_hang_ms=_field(
-                    obs, "total_hang_ms", "crowd observation"
-                ),
-                max_occurrence_factor=_field(
-                    obs, "max_occurrence_factor", "crowd observation"
-                ),
-            ))
-        aggregator.ingest(ReportBatch(
-            batch_id=_field(raw, "batch_id", "crowd batch"),
-            app_name=_field(raw, "app", "crowd batch"),
-            device_id=_field(raw, "device", "crowd batch"),
-            time_ms=_field(raw, "time_ms", "crowd batch"),
-            observations=tuple(observations),
-        ))
+        aggregator.ingest(batch_from_dict(raw))
     return aggregator
 
 

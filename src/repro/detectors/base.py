@@ -73,6 +73,11 @@ class MonitoringCost:
     #: Phase-2 collections avoided because the crowd-synced known-bug
     #: database already held a verdict for the hanging action.
     kb_short_circuits: int = 0
+    #: Milliseconds the detector would have sat out between failed
+    #: counter-read attempts (the seeded backoff schedule of
+    #: :class:`repro.base.rng.SeededBackoff`); bookkept, not simulated
+    #: as elapsed time — retries stay within one action's window.
+    retry_backoff_ms: float = 0.0
 
     def add(self, other):
         """Accumulate another cost record into this one."""
@@ -85,6 +90,7 @@ class MonitoringCost:
         self.counter_read_failures += other.counter_read_failures
         self.trace_failures += other.trace_failures
         self.kb_short_circuits += other.kb_short_circuits
+        self.retry_backoff_ms += other.retry_backoff_ms
         return self
 
 

@@ -194,6 +194,52 @@ class FaultInjector:
         return self._trip_keyed("torn-write", self.plan.torn_write_rate,
                                 (label,))
 
+    # ------------------------------------------------------------ network
+
+    def request_drop_fault(self, key, attempt):
+        """True when request (*key*, *attempt*) vanishes in transit.
+
+        Keyed by (request key, attempt) — like the executor channels —
+        so the verdict is identical for any client concurrency or
+        request interleaving, and a retried request draws a fresh
+        verdict instead of being dropped forever.
+        """
+        return self._trip_keyed("request-drop", self.plan.request_drop_rate,
+                                (key, attempt))
+
+    def request_delay_fault(self, key, attempt):
+        """In-flight delay for (*key*, *attempt*), in milliseconds.
+
+        Returns ``plan.request_delay_ms`` when the channel trips, else
+        0.0 (and at rate 0 never draws).
+        """
+        if self._trip_keyed("request-delay", self.plan.request_delay_rate,
+                            (key, attempt)):
+            return self.plan.request_delay_ms
+        return 0.0
+
+    def connection_reset_fault(self, key, attempt):
+        """True when the connection for (*key*, *attempt*) is reset
+        mid-exchange — after the request may already have been
+        processed, so the client cannot distinguish "never arrived"
+        from "ingested but the ack was lost" and must retry into an
+        idempotent server."""
+        return self._trip_keyed("connection-reset",
+                                self.plan.connection_reset_rate,
+                                (key, attempt))
+
+    def corrupt_response(self, text, key, attempt):
+        """Possibly truncate a response payload on the wire (keyed).
+
+        A corrupted response is indistinguishable from a garbled proxy:
+        the client must fail the attempt and retry.
+        """
+        if self._trip_keyed("response-corrupt",
+                            self.plan.response_corrupt_rate,
+                            (key, attempt)):
+            return text[: len(text) // 2]
+        return text
+
     # -------------------------------------------------------- persistence
 
     def corrupt_text(self, text):

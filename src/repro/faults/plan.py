@@ -70,6 +70,21 @@ class FaultPlan:
     #: a truncated temp file.  A crash-atomic writer must leave the
     #: destination untouched.
     torn_write_rate: float = 0.0
+    #: Per (request, attempt): the HTTP request vanishes in transit —
+    #: the server never sees it, the client times out and must retry.
+    request_drop_rate: float = 0.0
+    #: Per (request, attempt): the request is held up in flight for
+    #: ``request_delay_ms`` before the server sees it.
+    request_delay_rate: float = 0.0
+    #: How long a delayed request sits in flight, in milliseconds.
+    request_delay_ms: float = 250.0
+    #: Per (request, attempt): the connection is reset mid-exchange —
+    #: the client cannot tell whether the server ingested the batch,
+    #: so it must retry and the server must dedupe.
+    connection_reset_rate: float = 0.0
+    #: Per (request, attempt): the response payload is corrupted on the
+    #: wire; the client must treat it as a failure and retry.
+    response_corrupt_rate: float = 0.0
 
     _RATE_FIELDS = (
         "counter_transient_rate",
@@ -84,6 +99,33 @@ class FaultPlan:
         "worker_kill_rate",
         "shard_stall_rate",
         "torn_write_rate",
+        "request_drop_rate",
+        "request_delay_rate",
+        "connection_reset_rate",
+        "response_corrupt_rate",
+    )
+
+    #: Channels that stress the *harness* (the supervised executor and
+    #: its checkpoint writes), not the monitored runtime.  Excluded
+    #: from :meth:`uniform`; hand them to the supervisor explicitly
+    #: (see :func:`repro.parallel.parallel_map`).
+    EXECUTOR_CHANNELS = (
+        "worker_kill_rate",
+        "shard_stall_rate",
+        "torn_write_rate",
+    )
+
+    #: Channels that stress the *upload network* between the serve
+    #: client and the ingestion service (see :mod:`repro.serve`).
+    #: Excluded from :meth:`uniform` for the same reason as the
+    #: executor channels: they fault the delivery substrate, not the
+    #: monitored runtime, and belong in a plan handed to
+    #: :class:`repro.serve.client.ServeClient`.
+    NETWORK_CHANNELS = (
+        "request_drop_rate",
+        "request_delay_rate",
+        "connection_reset_rate",
+        "response_corrupt_rate",
     )
 
     @property
@@ -109,21 +151,31 @@ class FaultPlan:
                 "shard_stall_seconds must be > 0, got "
                 f"{self.shard_stall_seconds}"
             )
+        if self.request_delay_ms <= 0.0:
+            raise ValueError(
+                f"request_delay_ms must be > 0, got {self.request_delay_ms}"
+            )
         return self
 
     @classmethod
     def uniform(cls, rate):
-        """A plan stressing every subsystem at roughly one *rate*.
+        """A plan stressing every *monitored-runtime* subsystem at
+        roughly one *rate*.
 
         Transient counter errors, trace denials/truncations,
         persistence corruption, and report-batch drops/duplicates/
         delays fire at *rate*; permanent counter death at ``rate / 4``
         (rarer in the field — one revocation kills the monitor for
-        good, so an equal rate would dominate the sweep).  The
-        executor-level channels (``worker_kill``/``shard_stall``/
-        ``torn_write``) stay at zero: they stress the *harness*, not
-        the monitored runtime, and belong in a plan handed to the
-        supervisor (see :func:`repro.parallel.parallel_map`).
+        good, so an equal rate would dominate the sweep).  Two channel
+        families stay at zero, pinned by :attr:`EXECUTOR_CHANNELS` and
+        :attr:`NETWORK_CHANNELS`: the executor channels
+        (``worker_kill``/``shard_stall``/``torn_write``) stress the
+        *harness* and belong in a plan handed to the supervisor (see
+        :func:`repro.parallel.parallel_map`), and the network channels
+        (``request_drop``/``request_delay``/``connection_reset``/
+        ``response_corrupt``) stress the *upload path* and belong in a
+        plan handed to the serve client (see
+        :class:`repro.serve.client.ServeClient`).
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")

@@ -1,0 +1,383 @@
+"""The asyncio HTTP ingestion tier.
+
+One :class:`IngestService` owns a :class:`~repro.serve.state.
+ServiceState` and serves a small HTTP/1.1 surface over plain asyncio
+streams (the repo is stdlib-only by design — no aiohttp):
+
+* ``POST /v1/batches`` — upload one ReportBatch (the wire form of
+  :func:`repro.crowd.store.batch_to_dict`).  Acknowledged with 200
+  only after the batch's WAL record is fsynced; the body says whether
+  it was ``ingested`` or recognized as a ``duplicate``.
+* ``GET /healthz`` — liveness: 200 whenever the process can answer.
+* ``GET /readyz`` — readiness: 200 while accepting uploads, 503 once
+  draining.
+* ``GET /v1/stats`` — ingestion counters as JSON.
+* ``POST /v1/publish`` — force a snapshot publication.
+
+**Admission control.**  Two independent gates shed load *before* it
+costs anything durable, both answering 429 with a ``Retry-After``
+header the client's seeded backoff honors:
+
+* a bounded ingest queue — depth beyond ``max_queue`` means the
+  fsync pipeline is saturated and new uploads are shed;
+* per-tenant token buckets (``tenant_rate``/``tenant_burst`` per
+  second, tenant = the ``X-Tenant`` header, defaulting to the batch's
+  app) — one chatty fleet cannot starve the rest.
+
+**The write path.**  Handlers enqueue ``(batch, future)`` and await
+the future; a single writer task drains the queue in groups, journals
+the group under one fsync (group commit), applies it to the
+aggregator, and only then resolves the futures.  A torn journal
+append fails the *whole* group with 500 — the journal is repaired and
+no batch of the group is acknowledged, so "acked" and "durable" stay
+synonyms even under injected write faults.
+
+**Shutdown.**  :meth:`IngestService.stop` drains: readiness flips to
+503, new uploads are refused with 503 + ``Retry-After``, the queue is
+flushed through the writer, a final snapshot is published, and only
+then does the socket close.  SIGKILL instead of drain is the WAL's
+job: acked batches replay on restart.
+
+Everything timing-related (latencies, queue depths, publish cadence)
+is wall-clock and lands on the telemetry *advisory* channel only; the
+deterministic channel stays byte-identical whether or not a service
+ran in-process.
+"""
+
+import asyncio
+import json
+import time
+
+from repro.crowd.store import batch_from_dict
+from repro.serve.state import ServiceState
+from repro.telemetry import current as telemetry
+
+#: Default bound on batches queued for the fsync pipeline.
+DEFAULT_MAX_QUEUE = 256
+#: Default batches per snapshot publication.
+DEFAULT_SNAPSHOT_EVERY = 512
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _TokenBucket:
+    """One tenant's admission budget: *rate* tokens/s, *burst* deep."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate, burst, now):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def admit(self, now):
+        """Take one token; returns (admitted, retry_after_seconds)."""
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method, path, headers, body):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+class IngestService:
+    """The live crowd ingestion service (one state dir, one socket)."""
+
+    def __init__(self, state_dir, host="127.0.0.1", port=0, *,
+                 max_queue=DEFAULT_MAX_QUEUE,
+                 snapshot_every=DEFAULT_SNAPSHOT_EVERY,
+                 tenant_rate=0.0, tenant_burst=32,
+                 retry_after_s=0.25, faults=None,
+                 clock=time.monotonic):
+        self.state = ServiceState(state_dir, faults=faults)
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self.snapshot_every = snapshot_every
+        #: Per-tenant admitted batches per second; 0 disables the gate.
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.retry_after_s = retry_after_s
+        self.clock = clock
+        self.stats = {
+            "ingested": 0, "duplicates": 0, "replayed": 0,
+            "shed_queue": 0, "shed_tenant": 0, "rejected_draining": 0,
+            "bad_requests": 0, "publishes": 0, "publish_failures": 0,
+            "write_failures": 0,
+        }
+        self._queue = None
+        self._writer_task = None
+        self._server = None
+        self._draining = False
+        self._since_publish = 0
+        self._buckets = {}
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self):
+        """Recover state, start the writer, bind the socket."""
+        self.state.recover()
+        self.stats["replayed"] = self.state.replayed
+        telemetry().advisory_event(
+            "serve.start", replayed=self.state.replayed,
+            torn_tail_cut=self.state.torn_tail_cut,
+            batches=len(self.state.aggregator),
+        )
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._writer_task = asyncio.ensure_future(self._writer())
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        """Graceful drain: refuse new work, flush, publish, close."""
+        self._draining = True
+        if self._queue is not None:
+            await self._queue.join()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        self._publish(final=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.state.close()
+        telemetry().advisory_event(
+            "serve.stop", ingested=self.stats["ingested"],
+            publishes=self.stats["publishes"],
+        )
+
+    async def abort(self):
+        """Die without draining or publishing (a SIGKILL stand-in).
+
+        Tests use this to leave behind exactly what a killed process
+        leaves: the last published snapshot plus the fsynced WAL tail.
+        Pending uploads never get their ack — their clients retry
+        against the restarted service.
+        """
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.state.close()
+
+    async def serve_forever(self):
+        """Block until the server socket closes."""
+        await self._server.wait_closed()
+
+    @property
+    def address(self):
+        """The bound ``host:port``."""
+        return f"{self.host}:{self.port}"
+
+    # ---------------------------------------------------------- the writer
+
+    async def _writer(self):
+        """Drain the queue in groups: journal, fsync once, apply, ack."""
+        while True:
+            group = [await self._queue.get()]
+            while not self._queue.empty() and len(group) < 64:
+                group.append(self._queue.get_nowait())
+            try:
+                self.state.log([batch for batch, _ in group])
+            except Exception as error:
+                self.stats["write_failures"] += len(group)
+                telemetry().advisory_event(
+                    "serve.write_failure", batches=len(group),
+                    error=type(error).__name__,
+                )
+                for _, future in group:
+                    if not future.done():
+                        future.set_result(("error", str(error)))
+                    self._queue.task_done()
+                continue
+            for batch, future in group:
+                if self.state.ingest(batch):
+                    self.stats["ingested"] += 1
+                    status = "ingested"
+                else:
+                    self.stats["duplicates"] += 1
+                    status = "duplicate"
+                self._since_publish += 1
+                if not future.done():
+                    future.set_result((status, None))
+                self._queue.task_done()
+            if self._since_publish >= self.snapshot_every:
+                self._publish()
+
+    def _publish(self, final=False):
+        """Publish a snapshot; failures are survivable (WAL keeps all)."""
+        try:
+            self.state.publish()
+        except Exception as error:
+            self.stats["publish_failures"] += 1
+            telemetry().advisory_event(
+                "serve.publish_failure", error=type(error).__name__,
+            )
+            return
+        self.stats["publishes"] += 1
+        self._since_publish = 0
+        telemetry().advisory_event(
+            "serve.publish", batches=len(self.state.aggregator),
+            final=final,
+        )
+
+    # -------------------------------------------------------- the handler
+
+    async def _handle(self, reader, writer):
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                await self._respond(writer, 400, {"error": "bad request"})
+                return
+            status, payload, headers = await self._route(request)
+            await self._respond(writer, status, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request):
+        """Dispatch one request; returns (status, payload, headers)."""
+        key = (request.method, request.path)
+        if key == ("GET", "/healthz"):
+            return 200, {"status": "ok"}, {}
+        if key == ("GET", "/readyz"):
+            if self._draining:
+                return 503, {"status": "draining"}, {}
+            return 200, {"status": "ready"}, {}
+        if key == ("GET", "/v1/stats"):
+            stats = dict(self.stats)
+            stats["queue_depth"] = self._queue.qsize()
+            stats["batches"] = len(self.state.aggregator)
+            return 200, stats, {}
+        if key == ("POST", "/v1/publish"):
+            self._publish()
+            return 200, {"published": len(self.state.aggregator)}, {}
+        if key == ("POST", "/v1/batches"):
+            return await self._ingest_request(request)
+        if request.path in ("/healthz", "/readyz", "/v1/stats",
+                            "/v1/publish", "/v1/batches"):
+            return 405, {"error": "method not allowed"}, {}
+        return 404, {"error": "no such endpoint"}, {}
+
+    async def _ingest_request(self, request):
+        """The upload path: admission gates, then the durable queue."""
+        if self._draining:
+            self.stats["rejected_draining"] += 1
+            return 503, {"error": "draining"}, {
+                "Retry-After": f"{self.retry_after_s:g}"
+            }
+        try:
+            batch = batch_from_dict(json.loads(request.body))
+        except ValueError as error:
+            self.stats["bad_requests"] += 1
+            return 400, {"error": str(error)}, {}
+        tenant = request.headers.get("x-tenant", batch.app_name)
+        admitted, wait_s = self._admit(tenant)
+        if not admitted:
+            self.stats["shed_tenant"] += 1
+            telemetry().advisory_event("serve.shed", gate="tenant",
+                                       tenant=tenant)
+            return 429, {"error": "tenant rate exceeded"}, {
+                "Retry-After": f"{wait_s:g}"
+            }
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((batch, future))
+        except asyncio.QueueFull:
+            self.stats["shed_queue"] += 1
+            telemetry().advisory_event("serve.shed", gate="queue",
+                                       tenant=tenant)
+            return 429, {"error": "ingest queue full"}, {
+                "Retry-After": f"{self.retry_after_s:g}"
+            }
+        status, detail = await future
+        if status == "error":
+            return 500, {"error": detail}, {}
+        return 200, {"status": status, "batch_id": batch.batch_id}, {}
+
+    def _admit(self, tenant):
+        """The per-tenant token-bucket gate."""
+        if self.tenant_rate <= 0.0:
+            return True, 0.0
+        now = self.clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = _TokenBucket(
+                self.tenant_rate, float(self.tenant_burst), now
+            )
+        return bucket.admit(now)
+
+    # ------------------------------------------------------------- wire IO
+
+    async def _read_request(self, reader):
+        """Parse one HTTP/1.1 request; None on malformed input."""
+        line = await reader.readline()
+        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3:
+            return None
+        method, path, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            text = line.decode("latin-1").rstrip("\r\n")
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method, path, headers, body.decode("utf-8"))
+
+    async def _respond(self, writer, status, payload, headers=None):
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()

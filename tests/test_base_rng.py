@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.base.rng import stream, substream_seed
+from repro.base.rng import SeededBackoff, stream, substream_seed
 
 
 def test_same_keys_same_stream():
@@ -56,3 +56,56 @@ def test_substream_seed_is_64_bit_int():
     seed = substream_seed(1, "a")
     assert isinstance(seed, int)
     assert 0 <= seed < 2**64
+
+
+# -------------------------------------------------------- SeededBackoff
+
+
+def test_backoff_schedule_is_deterministic():
+    first = SeededBackoff(7, "client", 3, base_ms=10.0, cap_ms=500.0)
+    second = SeededBackoff(7, "client", 3, base_ms=10.0, cap_ms=500.0)
+    assert [first.next_ms() for _ in range(8)] == \
+        [second.next_ms() for _ in range(8)]
+
+
+def test_backoff_distinct_keys_distinct_schedules():
+    a = SeededBackoff(7, "client", 1)
+    b = SeededBackoff(7, "client", 2)
+    assert [a.next_ms() for _ in range(4)] != \
+        [b.next_ms() for _ in range(4)]
+
+
+def test_backoff_stays_within_bounds():
+    backoff = SeededBackoff(1, "k", base_ms=25.0, cap_ms=2000.0)
+    for _ in range(200):
+        delay = backoff.next_ms()
+        assert 25.0 <= delay <= 2000.0
+
+
+def test_backoff_envelope_is_decorrelated_jitter():
+    """Each delay sits in [base, min(cap, 3 * previous)]."""
+    backoff = SeededBackoff(3, "k", base_ms=10.0, cap_ms=1000.0)
+    previous = 10.0
+    for _ in range(50):
+        delay = backoff.next_ms()
+        assert 10.0 <= delay <= min(1000.0, 3.0 * previous) + 1e-9
+        previous = delay
+
+
+def test_backoff_reset_rewinds_envelope_not_the_stream():
+    """After reset the envelope restarts from base (a fresh burst backs
+    off gently) but the attempt counter keeps advancing, so no delay
+    value is ever re-drawn."""
+    backoff = SeededBackoff(5, "k", base_ms=10.0, cap_ms=1000.0)
+    first_burst = [backoff.next_ms() for _ in range(5)]
+    backoff.reset()
+    after_reset = backoff.next_ms()
+    assert after_reset <= 3.0 * 10.0  # envelope restarted
+    assert after_reset != first_burst[0]  # stream did not rewind
+
+
+def test_backoff_validates_parameters():
+    with pytest.raises(ValueError, match="base_ms"):
+        SeededBackoff(0, base_ms=0.0)
+    with pytest.raises(ValueError, match="cap_ms"):
+        SeededBackoff(0, base_ms=100.0, cap_ms=50.0)

@@ -406,3 +406,84 @@ def test_retried_shard_draws_a_fresh_kill_verdict():
         for shard in range(20)
     ]
     assert any(row[0] and not row[1] for row in verdicts)
+
+
+# ---------------------------------------------------- network channels
+
+
+def test_channel_family_constants_pin_the_exclusion_sets():
+    """The two opt-in fault families, pinned so a new channel must be
+    classified deliberately: executor channels stress the harness,
+    network channels stress the serve client/service wire."""
+    assert FaultPlan.EXECUTOR_CHANNELS == (
+        "worker_kill_rate", "shard_stall_rate", "torn_write_rate",
+    )
+    assert FaultPlan.NETWORK_CHANNELS == (
+        "request_drop_rate", "request_delay_rate",
+        "connection_reset_rate", "response_corrupt_rate",
+    )
+
+
+def test_uniform_plan_keeps_network_channels_off():
+    """FaultPlan.uniform scales the runtime monitoring surface; the
+    network channels belong to a plan handed to the serve client and
+    must stay opt-in — a chaos sweep at rate r must not also drop its
+    own crowd uploads."""
+    plan = FaultPlan.uniform(0.9)
+    for name in FaultPlan.NETWORK_CHANNELS + FaultPlan.EXECUTOR_CHANNELS:
+        assert getattr(plan, name) == 0.0, name
+
+
+def test_network_channels_validate_like_the_rest():
+    with pytest.raises(ValueError, match="request_drop_rate"):
+        FaultPlan(request_drop_rate=1.5).validate()
+    with pytest.raises(ValueError, match="response_corrupt_rate"):
+        FaultPlan(response_corrupt_rate=-0.2).validate()
+    with pytest.raises(ValueError, match="request_delay_ms"):
+        FaultPlan(request_delay_ms=0.0).validate()
+
+
+def test_network_channels_never_draw_at_rate_zero():
+    injector = FaultInjector(FaultPlan(), seed=0)
+    for attempt in range(5):
+        assert not injector.request_drop_fault("b", attempt)
+        assert injector.request_delay_fault("b", attempt) == 0.0
+        assert not injector.connection_reset_fault("b", attempt)
+        assert injector.corrupt_response("text", "b", attempt) == "text"
+    assert injector.draws == {}
+
+
+def test_network_verdicts_keyed_by_batch_and_attempt():
+    """(batch_id, attempt) fully determines each verdict — independent
+    of concurrency, upload order, or other channels' draws — so a
+    fleet's injected fault sequence reproduces at any client count."""
+    plan = FaultPlan(request_drop_rate=0.4, connection_reset_rate=0.4)
+    forward = FaultInjector(plan, seed=9, scope=("serve-net",))
+    backward = FaultInjector(plan, seed=9, scope=("serve-net",))
+    keys = [(f"app/dev{i}/round0", a) for i in range(10) for a in range(3)]
+    fwd = [forward.request_drop_fault(k, a) for k, a in keys]
+    bwd = []
+    for k, a in reversed(keys):
+        backward.connection_reset_fault(k, a)  # interleaved other channel
+        bwd.append(backward.request_drop_fault(k, a))
+    assert bwd[::-1] == fwd
+    assert any(fwd) and not all(fwd)
+    # Attempts re-key: a batch's verdicts vary across attempts, so a
+    # dropped first attempt is not a pinned-forever verdict.
+    drops = FaultInjector(FaultPlan(request_drop_rate=0.6), seed=2)
+    verdicts = [[drops.request_drop_fault(f"b{i}", a) for a in range(6)]
+                for i in range(10)]
+    assert any(True in row and False in row for row in verdicts)
+
+
+def test_corrupt_response_truncates_when_tripped():
+    injector = FaultInjector(FaultPlan(response_corrupt_rate=1.0), seed=0)
+    text = "HTTP/1.1 200 OK\r\n\r\n{}"
+    garbled = injector.corrupt_response(text, "b", 1)
+    assert garbled == text[:len(text) // 2]
+
+
+def test_request_delay_returns_plan_milliseconds():
+    plan = FaultPlan(request_delay_rate=1.0, request_delay_ms=40.0)
+    injector = FaultInjector(plan, seed=0)
+    assert injector.request_delay_fault("b", 1) == 40.0
