@@ -1,0 +1,66 @@
+"""Scenario generator throughput and sweep shape.
+
+The generator must stay cheap relative to deployment: emitting an app
+is a few hundred RNG draws, so a 5000-app fleet should materialize in
+well under a second.  Throughput at 1000 apps is tracked in the perf
+trajectory (``BENCH_scenarios.json``); absolute apps/sec is
+machine-dependent, so the entry is informational (``tolerance=None``)
+— the point is the committed history, not a CI gate.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.exp_scenarios import scenario_sweep
+from repro.scenarios import DEFAULT_MIX, generate_fleet
+
+GEN_SIZE = 1000
+
+
+def test_generator_throughput_trajectory(bench_record):
+    """apps/sec emitting the default-mix fleet at 1000 apps."""
+
+    def best_seconds(reps=3):
+        best = float("inf")
+        for _ in range(reps):
+            started = time.perf_counter()
+            fleet = generate_fleet(GEN_SIZE, mix=DEFAULT_MIX, seed=0)
+            best = min(best, time.perf_counter() - started)
+            assert len(fleet) == GEN_SIZE
+        return best
+
+    seconds = best_seconds()
+    bench_record(
+        "scenarios", "generate.apps_per_s", GEN_SIZE / seconds,
+        unit="apps/s", higher_is_better=True, tolerance=None,
+    )
+    bench_record(
+        "scenarios", "generate.1000_apps_s", seconds,
+        unit="s", higher_is_better=False, tolerance=None,
+    )
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_generator_benchmark(benchmark):
+    fleet = benchmark(lambda: generate_fleet(GEN_SIZE, seed=0))
+    assert len(fleet) == GEN_SIZE
+
+
+def test_scenario_sweep_shape(device, archive):
+    """A small sweep has the expected per-archetype quality shape."""
+    result = scenario_sweep(
+        device, seed=0, size=120, mix=DEFAULT_MIX, users=2,
+        actions_per_user=12, workers=2,
+    )
+    archive("scenario_sweep_120", result.render())
+    blocking = result.row("main_thread_blocking")
+    clean = result.row("clean")
+    render = result.row("render_jank_benign")
+    # Bug archetypes are found; benign archetypes stay unflagged even
+    # though they hang.
+    assert blocking["recall"] >= 0.5
+    assert blocking["precision"] == 1.0
+    assert clean["apps_flagged"] == 0
+    assert render["apps_flagged"] == 0
+    assert render["hangs"] > 0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Scenario sweep: per-archetype precision/recall at fleet scale.
+
+The 114-app corpus reproduces Table 5; the scenario generator goes
+further: it procedurally emits labelled apps from a six-archetype
+taxonomy — clean apps, classic main-thread blocking, async-wait hangs
+(`AsyncTask.get` on the main thread), synchronous IPC waits, rarely
+manifesting lifecycle races, and benign render jank that hangs but
+must never be flagged — then deploys Hang Doctor across the fleet and
+scores it per archetype against the generator's own ground truth.
+
+Everything is deterministic: app k of an archetype is a pure function
+of (seed, archetype, k), so the same seed gives byte-identical fleets
+at any size, mix, or worker count.
+
+Run:  python examples/scenario_sweep.py
+"""
+
+from repro import generate_fleet, scenario_app
+from repro.harness.exp_scenarios import scenario_sweep
+from repro.scenarios import TAXONOMY
+from repro.sim.device import LG_V10
+
+MIX = "clean=0.4,blocking=0.2,async=0.15,ipc=0.1,race=0.05,render=0.1"
+
+
+def main():
+    print("The archetype taxonomy:")
+    for archetype in TAXONOMY:
+        label = "bugs" if archetype.has_bugs else "benign"
+        print(f"  {archetype.name:24s} [{label:6s}] {archetype.description}")
+
+    print("\nOne generated app per archetype (seed 0, ordinal 0):")
+    for archetype in TAXONOMY:
+        app = scenario_app(archetype.name, 0, seed=0)
+        bugs = app.hang_bug_operations()
+        print(f"  {app.name:14s} {app.package:28s} "
+              f"{len(app.actions)} actions, {len(bugs)} planted bug(s)")
+
+    fleet = generate_fleet(300, mix=MIX, seed=0)
+    counts = {}
+    for entry in fleet:
+        counts[entry.archetype] = counts.get(entry.archetype, 0) + 1
+    print(f"\nA 300-app fleet at mix {MIX}:")
+    print("  " + ", ".join(f"{name}={n}" for name, n in counts.items()))
+
+    print("\nDeploying Hang Doctor across the fleet "
+          "(2 users x 12 actions each)...")
+    result = scenario_sweep(
+        LG_V10, seed=0, size=300, mix=MIX, users=2, actions_per_user=12,
+        workers=0,  # one worker per CPU; results identical to workers=1
+    )
+    print(result.render())
+
+    race = result.row("lifecycle_callback_race")
+    print(f"\nThe race archetype's recall ({race['recall']:.2f}) is the "
+          f"interesting number: its bugs manifest\n"
+          f"in only 15-45% of executions, so short sessions miss them — "
+          f"the same\nphenomenon that makes in-lab testing miss "
+          f"content-dependent bugs (paper 4.6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,7 @@ from repro.detectors import (
     run_detector,
     run_detectors,
 )
+from repro.scenarios import generate_fleet, parse_mix, scenario_app
 from repro.testbed import MonkeyInputGenerator, TestBedRunner, lab_vs_wild
 from repro.sim import (
     ExecutionEngine,
@@ -81,9 +82,12 @@ __all__ = [
     "UserSession",
     "UtilizationDetector",
     "build_corpus",
+    "generate_fleet",
     "get_app",
     "lab_vs_wild",
+    "parse_mix",
     "run_detector",
     "run_detectors",
+    "scenario_app",
     "__version__",
 ]

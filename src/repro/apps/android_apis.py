@@ -11,7 +11,14 @@ known-blocking database *before* Hang Doctor runs — the ground truth
 behind the paper's "missed offline" column.
 """
 
-from repro.apps.api import blocking_api, compute_op, light_api, ui_api
+from repro.apps.api import (
+    async_wait_api,
+    blocking_api,
+    compute_op,
+    ipc_api,
+    light_api,
+    ui_api,
+)
 
 # ---------------------------------------------------------------------------
 # UI APIs (must run on the main thread; never soft hang bugs).
@@ -288,6 +295,82 @@ UNKNOWN_BLOCKING_APIS = (
 )
 
 # ---------------------------------------------------------------------------
+# Synchronous waits on asynchronous results (PersisDroid's anatomy of
+# asynchronous-execution hangs).  The work already runs on a worker;
+# calling these from the main thread re-serializes it.  None are in
+# the offline known-blocking database — wait primitives are generic
+# concurrency APIs, not I/O names a scanner greps for.
+# ---------------------------------------------------------------------------
+
+ASYNC_TASK_GET = async_wait_api(
+    "get", "android.os.AsyncTask", mean_ms=450.0, sigma=0.35,
+)
+FUTURE_GET = async_wait_api(
+    "get", "java.util.concurrent.FutureTask", mean_ms=380.0, sigma=0.3,
+)
+THREAD_JOIN = async_wait_api(
+    "join", "java.lang.Thread", mean_ms=320.0, sigma=0.3,
+)
+LATCH_AWAIT = async_wait_api(
+    "await", "java.util.concurrent.CountDownLatch", mean_ms=280.0,
+)
+HANDLER_RUN_BLOCKING = async_wait_api(
+    # Post to a worker Handler and spin-wait for the reply token.
+    "runWithScissors", "android.os.Handler", mean_ms=340.0, sigma=0.3,
+)
+
+ASYNC_WAIT_APIS = (
+    ASYNC_TASK_GET,
+    FUTURE_GET,
+    THREAD_JOIN,
+    LATCH_AWAIT,
+    HANDLER_RUN_BLOCKING,
+)
+
+# ---------------------------------------------------------------------------
+# Synchronous binder IPC calls.  The remote process (content provider,
+# package manager, location service) does the work while the caller
+# idles in the binder driver.  The provider-query entry points are
+# well-known enough to sit in the offline database; the service
+# lookups are the long tail offline scanning misses.
+# ---------------------------------------------------------------------------
+
+RESOLVER_QUERY = ipc_api(
+    "query", "android.content.ContentResolver", mean_ms=320.0,
+    known_blocking=True, sigma=0.3,
+)
+RESOLVER_INSERT = ipc_api(
+    "insert", "android.content.ContentResolver", mean_ms=260.0,
+    known_blocking=True,
+)
+PM_GET_INSTALLED = ipc_api(
+    "getInstalledPackages", "android.content.pm.PackageManager",
+    mean_ms=480.0, sigma=0.35,
+)
+ACCOUNTS_BLOCKING_GET = ipc_api(
+    # AccountManagerFuture.getResult() on the main thread.
+    "getResult", "android.accounts.AccountManagerFuture", mean_ms=360.0,
+)
+LOCATION_LAST_KNOWN = ipc_api(
+    "getLastKnownLocation", "android.location.LocationManager",
+    mean_ms=220.0,
+)
+CURSOR_GET_COUNT = ipc_api(
+    # First getCount() on a provider-backed cursor fills the window
+    # across the binder.
+    "getCount", "android.database.Cursor", mean_ms=300.0, sigma=0.3,
+)
+
+IPC_APIS = (
+    RESOLVER_QUERY,
+    RESOLVER_INSERT,
+    PM_GET_INSTALLED,
+    ACCOUNTS_BLOCKING_GET,
+    LOCATION_LAST_KNOWN,
+    CURSOR_GET_COUNT,
+)
+
+# ---------------------------------------------------------------------------
 # Light bookkeeping calls.
 # ---------------------------------------------------------------------------
 
@@ -311,7 +394,7 @@ def heavy_loop(function_name, clazz, mean_ms=280.0, **kwargs):
 def initial_blocking_names():
     """Qualified names of all APIs marked known_blocking."""
     names = set()
-    for api in KNOWN_BLOCKING_APIS + UNKNOWN_BLOCKING_APIS:
+    for api in KNOWN_BLOCKING_APIS + UNKNOWN_BLOCKING_APIS + IPC_APIS:
         if api.known_blocking:
             names.add(api.qualified_name)
     return names

@@ -22,6 +22,13 @@ Kinds
     Self-developed lengthy operation (heavy loop).  Pure CPU on the
     main thread; also a soft hang bug, but invisible to offline
     scanners that only search for well-known blocking API names.
+``ASYNC_WAIT``
+    Synchronous wait on an asynchronous result (``AsyncTask.get``,
+    ``Future.get``).  Blocking the main thread on a worker's
+    completion re-serializes the offloaded work — a soft hang bug.
+``IPC``
+    Synchronous binder round trip to a remote process.  Slow replies
+    block the main thread — a soft hang bug.
 ``LIGHT``
     Cheap bookkeeping call; never hangs.
 """
@@ -54,6 +61,16 @@ UI_CLASS_PREFIXES = (
 def is_ui_class(clazz):
     """True if *clazz* belongs to a UI package (must stay on main thread)."""
     return clazz.startswith(UI_CLASS_PREFIXES)
+
+
+#: Kinds whose slow calls could run off the main thread — the soft hang
+#: *bug* kinds.  UI work must stay on main and LIGHT calls never hang.
+_MOVABLE_KINDS = (
+    ApiKind.BLOCKING,
+    ApiKind.COMPUTE,
+    ApiKind.ASYNC_WAIT,
+    ApiKind.IPC,
+)
 
 
 @dataclass(frozen=True)
@@ -165,7 +182,7 @@ class ApiSpec:
         ``setParameters``) are movable in principle but are not soft
         hang bugs: they never produce a perceivable hang on their own.
         """
-        if self.kind not in (ApiKind.BLOCKING, ApiKind.COMPUTE):
+        if self.kind not in _MOVABLE_KINDS:
             return False
         return self.mean_ms >= 100.0
 
@@ -280,6 +297,45 @@ def compute_op(name, clazz, mean_ms=250.0, **kwargs):
         pages=250,
         pages_fast=10,
         known_blocking=False,
+    )
+    defaults.update(kwargs)
+    return ApiSpec(name=name, clazz=clazz, **defaults)
+
+
+def async_wait_api(name, clazz, mean_ms=350.0, **kwargs):
+    """Build a synchronous wait on an asynchronous result.
+
+    Almost all the wall time is one long block on the worker's
+    completion signal: minimal CPU, no render work, a tiny footprint,
+    and a single long wait chunk (few voluntary switches) — the
+    PersisDroid hang anatomy.
+    """
+    defaults = dict(
+        kind=ApiKind.ASYNC_WAIT,
+        mean_ms=mean_ms,
+        cpu_share=0.08,
+        render_share=0.0,
+        pages=20,
+        pages_fast=4,
+        wait_chunk_ms=40.0,
+        known_blocking=False,
+    )
+    defaults.update(kwargs)
+    return ApiSpec(name=name, clazz=clazz, **defaults)
+
+
+def ipc_api(name, clazz, mean_ms=280.0, known_blocking=False, **kwargs):
+    """Build a synchronous binder IPC call (remote process does the
+    work; the caller marshals, waits one long stretch, unmarshals)."""
+    defaults = dict(
+        kind=ApiKind.IPC,
+        mean_ms=mean_ms,
+        cpu_share=0.18,
+        render_share=0.0,
+        pages=60,
+        pages_fast=8,
+        wait_chunk_ms=30.0,
+        known_blocking=known_blocking,
     )
     defaults.update(kwargs)
     return ApiSpec(name=name, clazz=clazz, **defaults)

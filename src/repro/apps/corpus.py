@@ -29,16 +29,25 @@ _LIGHT_POOL = apis.LIGHT_APIS
 FLEET_SIZE = 114
 
 
-def generate_clean_app(index, seed=0):
-    """Generate one bug-free app (UI and light operations only)."""
-    rng = stream(seed, "corpus", index)
-    name = f"GenApp-{index:03d}"
-    package = f"com.generated.app{index:03d}"
+def app_profile(rng):
+    """Draw the store-listing profile (category, downloads, commit).
+
+    The draw order (category, then downloads, then commit) is part of
+    the seed contract: :func:`generate_clean_app` has emitted the same
+    apps for a given seed since the corpus existed, and every scenario
+    archetype (:mod:`repro.scenarios.archetypes`) shares this prefix so
+    generated apps stay comparable across archetypes.
+    """
     category = CATEGORIES[int(rng.integers(len(CATEGORIES)))]
     downloads = int(10 ** rng.uniform(2, 6))
     commit = "".join(
         "0123456789abcdef"[int(d)] for d in rng.integers(0, 16, size=7)
     )
+    return category, downloads, commit
+
+
+def clean_actions(rng):
+    """Draw a clean app's action list (UI and light operations only)."""
     action_count = int(rng.integers(3, 7))
     actions = []
     for action_index in range(action_count):
@@ -54,9 +63,35 @@ def generate_clean_app(index, seed=0):
             ui_action(f"action_{action_index}", *chosen,
                       caller=f"handleAction{action_index}")
         )
+    return tuple(actions)
+
+
+def clean_app(rng, name, package):
+    """The ``clean`` archetype: one bug-free app drawn from *rng*.
+
+    This is the single clean-app generator path — the legacy corpus
+    (:func:`generate_clean_app`) and the scenario taxonomy's ``clean``
+    archetype both call it, so there is exactly one place the UI/light
+    pools and draw order live.
+    """
+    category, downloads, commit = app_profile(rng)
+    actions = clean_actions(rng)
     return AppSpec(
         name=name, package=package, category=category,
-        downloads=downloads, commit=commit, actions=tuple(actions),
+        downloads=downloads, commit=commit, actions=actions,
+    )
+
+
+def generate_clean_app(index, seed=0):
+    """Generate one bug-free app (UI and light operations only).
+
+    Seed-for-seed identical to what this function has always emitted:
+    the rng keying (``seed, "corpus", index``) and every draw inside
+    :func:`clean_app` are unchanged.
+    """
+    rng = stream(seed, "corpus", index)
+    return clean_app(
+        rng, f"GenApp-{index:03d}", f"com.generated.app{index:03d}"
     )
 
 

@@ -10,6 +10,17 @@
 ``COMPUTE``
     Self-developed lengthy operation (heavy loop); also a soft hang bug
     but invisible to name-based offline scanners.
+``ASYNC_WAIT``
+    Synchronous wait for an asynchronous result (``AsyncTask.get``,
+    ``Future.get``, ``Thread.join``, ``CountDownLatch.await``).  The
+    work already runs off the main thread; blocking on its completion
+    from the main thread re-serializes it — a soft hang bug
+    (PersisDroid's asynchronous-execution anatomy).
+``IPC``
+    Synchronous binder round trip to another process
+    (``ContentResolver.query``, ``PackageManager`` lookups).  The
+    caller idles while the remote side works; on the main thread a
+    slow reply is a soft hang bug.
 ``LIGHT``
     Cheap bookkeeping call; never hangs.
 """
@@ -23,4 +34,6 @@ class ApiKind(enum.Enum):
     UI = "ui"
     BLOCKING = "blocking"
     COMPUTE = "compute"
+    ASYNC_WAIT = "async_wait"
+    IPC = "ipc"
     LIGHT = "light"

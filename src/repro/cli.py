@@ -7,6 +7,7 @@ runs Hang Doctor over the synthetic fleet from a shell:
 * ``session`` — run Hang Doctor over one app's simulated user session
 * ``scan`` — run the offline scanner over an app
 * ``fleet`` — the Table 5 fleet study
+* ``scenarios`` — per-archetype sweep of a taxonomy-generated fleet
 * ``compare`` — the Figure 8 detector comparison
 * ``filter`` — the correlation/threshold design pipeline (Tables 3-4)
 * ``testbed`` — lab-vs-wild bug coverage (§4.6)
@@ -23,7 +24,9 @@ import sys
 
 from repro import telemetry
 from repro.apps.catalog import NAMED_APPS, TABLE5_APPS, get_app
+from repro.apps.corpus import FLEET_SIZE
 from repro.apps.sessions import SessionGenerator
+from repro.scenarios import DEFAULT_MIX
 from repro.core.hang_doctor import HangDoctor
 from repro.detectors.offline import OfflineScanner
 from repro.detectors.runner import run_detector
@@ -153,7 +156,26 @@ def cmd_fleet(args):
     checkpoint, resume = _checkpoint_args(args)
     result, session = _run_observed(args, lambda: table5(
         _device(args.device), seed=args.seed, users=args.users,
-        actions_per_user=args.actions, workers=args.workers,
+        actions_per_user=args.actions, corpus_size=args.fleet_size,
+        workers=args.workers, checkpoint=checkpoint, resume=resume,
+    ))
+    _print_result(result, args)
+    _emit_observability(args, session, result.execution)
+    _dump_report_json(args, result.execution)
+
+
+def cmd_scenarios(args):
+    """Sweep a taxonomy-generated scenario fleet."""
+    from repro.harness.exp_scenarios import scenario_sweep
+
+    if args.quick:
+        size, users, actions = 200, 1, 8
+    else:
+        size, users, actions = args.fleet_size, args.users, args.actions
+    checkpoint, resume = _checkpoint_args(args)
+    result, session = _run_observed(args, lambda: scenario_sweep(
+        _device(args.device), seed=args.seed, size=size, mix=args.mix,
+        users=users, actions_per_user=actions, workers=args.workers,
         checkpoint=checkpoint, resume=resume,
     ))
     _print_result(result, args)
@@ -422,11 +444,41 @@ def build_parser():
     fleet = sub.add_parser("fleet", help="the Table 5 fleet study")
     fleet.add_argument("--users", type=int, default=4)
     fleet.add_argument("--actions", type=int, default=60)
+    fleet.add_argument("--fleet-size", type=int, default=FLEET_SIZE,
+                       help="corpus size: the hand-modelled apps plus "
+                            "generated clean apps up to this many "
+                            f"(default {FLEET_SIZE}, the paper's fleet)")
     fleet.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     add_checkpoint_flags(fleet)
     add_observability_flags(fleet)
     fleet.set_defaults(func=cmd_fleet)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="sweep a taxonomy-generated fleet (per-archetype "
+             "precision/recall)",
+    )
+    scenarios.add_argument("--fleet-size", type=int, default=1000,
+                           help="generated apps in the fleet")
+    scenarios.add_argument(
+        "--mix", default=DEFAULT_MIX,
+        help="archetype mix as name=fraction pairs (aliases: clean, "
+             "blocking, async, ipc, race, render); fractions are "
+             "normalized")
+    scenarios.add_argument("--users", type=int, default=2)
+    scenarios.add_argument("--actions", type=int, default=12)
+    scenarios.add_argument("--quick", action="store_true",
+                           help="small fixed preset (200 apps, 1 user) "
+                                "for CI determinism smoke")
+    scenarios.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                           help="root seed (also accepted before the "
+                                "subcommand)")
+    scenarios.add_argument("--workers", type=_workers, default=1,
+                           help=workers_help)
+    add_checkpoint_flags(scenarios)
+    add_observability_flags(scenarios)
+    scenarios.set_defaults(func=cmd_scenarios)
 
     compare = sub.add_parser("compare",
                              help="the Figure 8 detector comparison")

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import detected_bug_sites
 from repro.apps.catalog import TABLE5_APPS
-from repro.apps.corpus import build_corpus
+from repro.apps.corpus import FLEET_SIZE, build_corpus
 from repro.apps.sessions import SessionGenerator
 from repro.base.rng import substream_seed
 from repro.core.blocking_db import BlockingApiDatabase
@@ -255,9 +255,10 @@ def _table5_shard(payload):
     )
 
 
-def table5(device, seed=0, users=4, actions_per_user=60, corpus_size=114,
-           config=None, workers=1, blocking_names=None, crowd_kb=None,
-           checkpoint=None, resume=False, report=None):
+def table5(device, seed=0, users=4, actions_per_user=60,
+           corpus_size=FLEET_SIZE, config=None, workers=1,
+           blocking_names=None, crowd_kb=None, checkpoint=None,
+           resume=False, report=None):
     """Reproduce Table 5's fleet study (scaled-down user base).
 
     ``workers`` shards the corpus across processes; any worker count

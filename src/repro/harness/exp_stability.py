@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.correlation import correlate, ranked_events
 from repro.analysis.thresholds import fit_filter
+from repro.apps.corpus import FLEET_SIZE
 from repro.checkpoint import ShardJournal, checkpointed_map, run_key
 from repro.harness.exp_comparison import figure8
 from repro.harness.exp_fleet import table5
@@ -110,8 +111,9 @@ def _fleet_stability_shard(payload):
 
 
 def fleet_stability(device, seeds=(3, 7, 13), users=3,
-                    actions_per_user=60, corpus_size=114, workers=1,
-                    checkpoint=None, resume=False, report=None):
+                    actions_per_user=60, corpus_size=FLEET_SIZE,
+                    workers=1, checkpoint=None, resume=False,
+                    report=None):
     """Table 5's totals across seeds.
 
     ``checkpoint``/``resume`` journal each seed's completed shard so a

@@ -1,0 +1,37 @@
+"""Taxonomy-driven scenario generation.
+
+A seeded, property-based generator that procedurally emits fleets of
+thousands of :class:`~repro.apps.app.AppSpec`s from a declarative
+archetype taxonomy — the paper's main-thread-blocking family plus the
+failure modes the related work catalogs (async-wait hangs, IPC waits,
+lifecycle races) and the true-negative pressure (render-side jank) a
+soft-hang detector must not flag.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.generator import (
+    GeneratedApp,
+    generate_fleet,
+    scenario_app,
+)
+from repro.scenarios.taxonomy import (
+    ARCHETYPES,
+    DEFAULT_MIX,
+    TAXONOMY,
+    Archetype,
+    assign_archetypes,
+    parse_mix,
+    render_mix,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "Archetype",
+    "DEFAULT_MIX",
+    "GeneratedApp",
+    "TAXONOMY",
+    "assign_archetypes",
+    "generate_fleet",
+    "parse_mix",
+    "render_mix",
+    "scenario_app",
+]

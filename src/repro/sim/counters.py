@@ -112,6 +112,10 @@ _KIND_IPC = {
     ApiKind.COMPUTE: 1.3,
     ApiKind.UI: 1.0,
     ApiKind.LIGHT: 1.0,
+    # Wait-dominated kinds run little code of their own; what does run
+    # (marshalling, wake-up paths) stalls like I/O code.
+    ApiKind.ASYNC_WAIT: 0.6,
+    ApiKind.IPC: 0.55,
 }
 
 #: Task-clock counter units (nanoseconds) per millisecond of CPU time:

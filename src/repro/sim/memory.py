@@ -36,6 +36,10 @@ _MAJOR_FRACTION = {
     ApiKind.COMPUTE: 0.002,
     ApiKind.UI: 0.002,
     ApiKind.LIGHT: 0.0,
+    # A waiting thread touches almost nothing; IPC replies land in
+    # already-resident ashmem/binder buffers.
+    ApiKind.ASYNC_WAIT: 0.0,
+    ApiKind.IPC: 0.005,
 }
 
 
