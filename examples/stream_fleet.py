@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Continuous fleet mode: a long-lived crowd study that survives churn
+and worker failures without changing a byte of output.
+
+The crowd sweep deploys a fixed fleet for a fixed number of rounds; a
+real deployment churns — devices join and leave mid-study — and the
+machines running the study fail too.  This example runs one stream
+twice: first calm, then under a seeded executor storm (worker kills +
+shard stalls) that forces the elastic scheduler to steal shards from
+stragglers and reshard dead workers' items.  The rendered time series
+must match byte for byte, because scheduling is timing and the output
+is data: churn draws from a keyed fault channel (a pure function of
+the seed), every device round is a pure function of its payload, and
+steal/reshard activity is quarantined in the advisory execution
+report.
+
+Run:  python examples/stream_fleet.py
+"""
+
+from repro.harness.exp_stream import stream_sweep
+from repro.parallel import ExecutionReport
+from repro.sim.device import LG_V10
+
+CONFIG = dict(
+    seed=9, rounds=4, fleet_size=3, churn_rate=0.25,
+    publish_every=2, apps=("K9-mail",), actions_per_round=10,
+)
+
+
+def main():
+    calm = stream_sweep(LG_V10, workers=2, **CONFIG)
+    print(calm.render())
+
+    print("\nSame stream, workers being killed and shards stalling:")
+    report = ExecutionReport()
+    stormy = stream_sweep(
+        LG_V10, workers=2, worker_kill_rate=0.4, shard_stall_rate=0.3,
+        deadline=5.0, report=report, **CONFIG,
+    )
+    assert stormy.render() == calm.render()
+    print("  rendered output: byte-identical to the calm run")
+    print(f"  advisory report: {report.steals} steal(s), "
+          f"{report.reshards} reshard(s), {report.worker_crashes} "
+          f"worker crash(es), {report.churn_events} churn event(s)")
+
+    members = {d for entry in calm.rounds for d in entry.fleet}
+    print(f"\n{len(members)} distinct devices passed through the fleet; "
+          f"per-device phase-2 cost fell "
+          f"{calm.rounds[0].collections_per_device:.2f} -> "
+          f"{calm.rounds[-1].collections_per_device:.2f} "
+          f"as the knowledge base grew.")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ Safety properties:
 
 import hashlib
 import json
+import os
 import pathlib
 import pickle
 
@@ -90,6 +91,11 @@ class ShardJournal:
         """Directory holding one pickle per completed shard."""
         return self.directory / "shards"
 
+    @property
+    def reassignments_path(self):
+        """Append-only JSONL log of scheduler reassignment decisions."""
+        return self.directory / "reassignments.jsonl"
+
     def _entry_path(self, shard_key):
         digest = hashlib.sha256(str(shard_key).encode("utf-8")).hexdigest()
         return self.shards_dir / f"{digest[:32]}.pkl"
@@ -128,17 +134,68 @@ class ShardJournal:
         )
 
     def clear(self):
-        """Drop every journal entry and the manifest."""
+        """Drop every journal entry, the manifest, and the
+        reassignment log."""
         if self.shards_dir.is_dir():
             for path in self.shards_dir.iterdir():
                 try:
                     path.unlink()
                 except OSError:
                     pass
+        for path in (self.manifest_path, self.reassignments_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ----------------------------------------------------- reassignments
+
+    def log_reassignment(self, kind, **record):
+        """Write-ahead one scheduler decision; best-effort, never raises.
+
+        The elastic scheduler (:mod:`repro.sched`) records every
+        assignment, steal, and reshard *before* acting on it, so a
+        crash mid-redistribution leaves an auditable trail: on resume
+        the log shows which items were in flight where when the run
+        died.  The record is one JSON line ``{"kind": ..., ...}``
+        appended with an fsync; a torn tail (killed mid-append) is
+        tolerated by :meth:`reassignments`.  Returns True when the
+        record landed.
+        """
+        payload = dict(record)
+        payload["kind"] = str(kind)
         try:
-            self.manifest_path.unlink()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.reassignments_path, "a",
+                      encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         except OSError:
-            pass
+            return False
+        _telemetry_current().advisory_event("checkpoint.reassignment",
+                                            **payload)
+        return True
+
+    def reassignments(self):
+        """All durably logged reassignment records, in append order.
+
+        A torn final line (the process died mid-append) is skipped,
+        mirroring the journal-wide corruption-means-rerun contract.
+        """
+        try:
+            text = self.reassignments_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(payload, dict):
+                records.append(payload)
+        return records
 
     # ----------------------------------------------------------- entries
 

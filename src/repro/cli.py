@@ -13,6 +13,8 @@ runs Hang Doctor over the synthetic fleet from a shell:
 * ``testbed`` — lab-vs-wild bug coverage (§4.6)
 * ``chaos`` — detection quality under injected monitoring faults
 * ``crowd`` — fleet-size sweep of the crowd backend's diagnosis savings
+* ``stream`` — continuous fleet mode: long-lived sweep with device
+  churn, rolling KB republish, and the elastic shard scheduler
 * ``serve`` — run the live crowd ingestion service (HTTP, WAL-backed)
 * ``serve-bench`` — stress the ingestion service with a device fleet
 """
@@ -234,6 +236,32 @@ def cmd_crowd(args):
         rounds=rounds, apps=apps, actions_per_round=actions,
         fault_rate=args.fault_rate, workers=args.workers,
         checkpoint=checkpoint, resume=resume,
+    ))
+    _print_result(result, args)
+    _emit_observability(args, session, result.execution)
+    _dump_report_json(args, result.execution)
+
+
+def cmd_stream(args):
+    """Run continuous fleet mode through the elastic scheduler."""
+    from repro.harness.exp_stream import stream_sweep
+
+    if args.quick:
+        fleet_size, rounds, actions = 2, 3, 12
+        apps = ("K9-mail", "AndStatus")
+    else:
+        fleet_size, rounds, actions = (args.fleet_size, args.rounds,
+                                       args.actions)
+        apps = tuple(args.apps.split(",")) if args.apps else None
+    checkpoint, resume = _checkpoint_args(args)
+    result, session = _run_observed(args, lambda: stream_sweep(
+        _device(args.device), seed=args.seed, rounds=rounds,
+        fleet_size=fleet_size, churn_rate=args.churn_rate,
+        publish_every=args.publish_every, apps=apps,
+        actions_per_round=actions, fault_rate=args.fault_rate,
+        worker_kill_rate=args.worker_kill_rate,
+        shard_stall_rate=args.shard_stall_rate, workers=args.workers,
+        checkpoint=checkpoint, resume=resume, deadline=args.deadline,
     ))
     _print_result(result, args)
     _emit_observability(args, session, result.execution)
@@ -538,6 +566,53 @@ def build_parser():
     add_checkpoint_flags(crowd)
     add_observability_flags(crowd)
     crowd.set_defaults(func=cmd_crowd)
+
+    stream = sub.add_parser(
+        "stream",
+        help="continuous fleet mode: long-lived sweep with device "
+             "churn through the elastic shard scheduler",
+    )
+    stream.add_argument("--fleet-size", type=int, default=4,
+                        help="nominal device count (churn reshapes it)")
+    stream.add_argument("--rounds", type=int, default=6,
+                        help="sync rounds to stream")
+    stream.add_argument("--churn-rate", type=float, default=0.0,
+                        help="seeded per-(round, device) join/leave "
+                             "probability; the schedule is keyed, so "
+                             "output stays identical for any --workers")
+    stream.add_argument("--publish-every", type=int, default=1,
+                        help="republish the crowd KB every N rounds "
+                             "(1 = every round, the crowd sweep's "
+                             "behaviour)")
+    stream.add_argument("--apps", default=None,
+                        help="comma-separated catalog app names "
+                             "(default: AndStatus, K9-mail)")
+    stream.add_argument("--actions", type=int, default=40,
+                        help="actions per device per round")
+    stream.add_argument("--fault-rate", type=float, default=0.0,
+                        help="upload fault rate (drop/duplicate/delay)")
+    stream.add_argument("--worker-kill-rate", type=float, default=0.0,
+                        help="executor storm: kill workers mid-shard at "
+                             "this rate (resharded; output unchanged)")
+    stream.add_argument("--shard-stall-rate", type=float, default=0.0,
+                        help="executor storm: stall shards at this rate "
+                             "(stolen past the deadline; output "
+                             "unchanged)")
+    stream.add_argument("--deadline", type=float, default=None,
+                        help="straggler steal deadline in seconds "
+                             "(default: sized from the perf-trajectory "
+                             "cost model)")
+    stream.add_argument("--quick", action="store_true",
+                        help="small fixed preset (2 apps, fleet 2, 3 "
+                             "rounds) for CI determinism smoke")
+    stream.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                        help="root seed (also accepted before the "
+                             "subcommand)")
+    stream.add_argument("--workers", type=_workers, default=1,
+                        help=workers_help)
+    add_checkpoint_flags(stream)
+    add_observability_flags(stream)
+    stream.set_defaults(func=cmd_stream)
 
     serve = sub.add_parser(
         "serve",

@@ -185,6 +185,21 @@ class FaultInjector:
         return self._trip_keyed("shard-stall", self.plan.shard_stall_rate,
                                 (shard, attempt))
 
+    def device_churn_fault(self, kind, round_index, slot):
+        """True when fleet-membership event (*kind*, *round*, *slot*)
+        fires — ``kind`` is ``"leave"`` (an enrolled device departs
+        before the round) or ``"join"`` (a fresh device enrolls into
+        an open slot).
+
+        Keyed by (kind, round, slot): the whole churn schedule is a
+        pure function of (seed, scope, plan), so fleet membership is
+        identical for any worker count, shard packing, or injected
+        executor-fault schedule — which is what lets the streaming
+        harness render churn in its deterministic output.
+        """
+        return self._trip_keyed("device-churn", self.plan.device_churn_rate,
+                                (kind, round_index, slot))
+
     def torn_write_fault(self, label):
         """True when the state write named *label* dies mid-stream.
 

@@ -70,6 +70,12 @@ class FaultPlan:
     #: a truncated temp file.  A crash-atomic writer must leave the
     #: destination untouched.
     torn_write_rate: float = 0.0
+    #: Per (device, stream round): the device leaves the fleet before
+    #: the round (battery died, app uninstalled) — and, on a separate
+    #: keyed draw, a new device enrolls in its place.  Keyed by
+    #: (round, device) so the churn schedule is a pure function of the
+    #: seed, independent of worker count and execution order.
+    device_churn_rate: float = 0.0
     #: Per (request, attempt): the HTTP request vanishes in transit —
     #: the server never sees it, the client times out and must retry.
     request_drop_rate: float = 0.0
@@ -99,6 +105,7 @@ class FaultPlan:
         "worker_kill_rate",
         "shard_stall_rate",
         "torn_write_rate",
+        "device_churn_rate",
         "request_drop_rate",
         "request_delay_rate",
         "connection_reset_rate",
@@ -113,6 +120,16 @@ class FaultPlan:
         "worker_kill_rate",
         "shard_stall_rate",
         "torn_write_rate",
+    )
+
+    #: Channels that stress *fleet membership* (devices joining and
+    #: leaving a long-lived streaming deployment — see
+    #: :mod:`repro.harness.exp_stream`).  Excluded from :meth:`uniform`
+    #: like the executor channels: churn reshapes the workload itself,
+    #: not the monitored runtime, and belongs in a plan handed to the
+    #: streaming harness.
+    FLEET_CHANNELS = (
+        "device_churn_rate",
     )
 
     #: Channels that stress the *upload network* between the serve
@@ -166,16 +183,20 @@ class FaultPlan:
         persistence corruption, and report-batch drops/duplicates/
         delays fire at *rate*; permanent counter death at ``rate / 4``
         (rarer in the field — one revocation kills the monitor for
-        good, so an equal rate would dominate the sweep).  Two channel
-        families stay at zero, pinned by :attr:`EXECUTOR_CHANNELS` and
-        :attr:`NETWORK_CHANNELS`: the executor channels
+        good, so an equal rate would dominate the sweep).  Three
+        channel families stay at zero, pinned by
+        :attr:`EXECUTOR_CHANNELS`, :attr:`NETWORK_CHANNELS`, and
+        :attr:`FLEET_CHANNELS`: the executor channels
         (``worker_kill``/``shard_stall``/``torn_write``) stress the
         *harness* and belong in a plan handed to the supervisor (see
-        :func:`repro.parallel.parallel_map`), and the network channels
+        :func:`repro.parallel.parallel_map`), the network channels
         (``request_drop``/``request_delay``/``connection_reset``/
         ``response_corrupt``) stress the *upload path* and belong in a
         plan handed to the serve client (see
-        :class:`repro.serve.client.ServeClient`).
+        :class:`repro.serve.client.ServeClient`), and the fleet
+        channel (``device_churn``) reshapes streaming fleet
+        membership and belongs in a plan handed to
+        :func:`repro.harness.exp_stream.stream_sweep`.
         """
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {rate}")

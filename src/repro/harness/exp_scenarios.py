@@ -20,10 +20,14 @@ Scoring (all at the granularity the paper's Table 5 uses):
   ``render_jank_benign`` archetype exists to pressure.
 
 The sweep decomposes at app granularity: fleet generation is
-index-addressable, every app's run is a pure function of (device,
-root seed, app), and shards are contiguous index slices — so any
-``--workers`` count, checkpoint resume, or repeat run renders
-byte-identical output.
+index-addressable and every app's run is a pure function of (device,
+root seed, app).  Shards pack by *weight*, not count — archetypes
+cost different amounts to simulate, so the elastic scheduler's cost
+model (:mod:`repro.sched.cost`) prices each index by its archetype
+and :func:`~repro.sched.pack_by_weight` balances the load across
+workers.  Merging sorts cells back into fleet order, so any
+``--workers`` count, packing, checkpoint resume, or repeat run
+renders byte-identical output.
 """
 
 import math
@@ -42,15 +46,17 @@ from repro.detectors.offline import OfflineScanner
 from repro.detectors.runner import run_detector
 from repro.harness.exp_fleet import fleet_app_seed
 from repro.harness.tables import render_table
-from repro.parallel import ExecutionReport, chunk_indices, resolve_workers
+from repro.parallel import ExecutionReport, resolve_workers
 from repro.scenarios import (
     ARCHETYPES,
     DEFAULT_MIX,
     TAXONOMY,
+    assign_archetypes,
     generate_fleet,
     parse_mix,
     render_mix,
 )
+from repro.sched import CostModel, pack_by_weight
 from repro.sim.engine import ExecutionEngine
 from repro.telemetry import current as telemetry
 
@@ -92,14 +98,19 @@ class ScenarioResult:
 
     @classmethod
     def merge(cls, parts):
-        """Recombine shard results in submission order (shards are
-        contiguous index slices, so this restores fleet order)."""
+        """Recombine shard results into fleet order.
+
+        Shards are weight-balanced index *sets* (not contiguous
+        slices), so cells are sorted by fleet index — which makes the
+        merge independent of packing, worker count, and part order.
+        """
         parts = list(parts)
         if not parts:
             raise ValueError("need at least one ScenarioResult to merge")
         cells = []
         for part in parts:
             cells.extend(part.cells)
+        cells.sort(key=lambda cell: cell.index)
         first = parts[0]
         return cls(
             cells=cells, size=first.size, mix=first.mix,
@@ -265,26 +276,38 @@ def scenario_sweep(device, seed=0, size=1000, mix=DEFAULT_MIX, users=2,
 
     ``size`` and ``mix`` parameterize the fleet (see
     :func:`repro.scenarios.parse_mix` for the mix syntax).  ``workers``
-    shards the fleet as contiguous index slices through the supervised
-    pool; per-app seeds and index-addressable generation make every
-    cell a pure function of its payload, so any worker count yields
-    byte-identical output.  ``checkpoint``/``resume`` journal completed
-    shards the moment they finish, exactly like the other sweeps;
-    shards are worker-count slices, so a resume only reuses the
-    journal when ``workers`` matches.
+    shards the fleet through the supervised pool as *weight-balanced*
+    index sets: each index is priced by its archetype through the
+    scheduler's cost model, so a worker drawing the expensive
+    archetypes gets fewer apps.  Per-app seeds and index-addressable
+    generation make every cell a pure function of its payload, and the
+    merge sorts by index, so any worker count yields byte-identical
+    output.  ``checkpoint``/``resume`` journal completed shards the
+    moment they finish, exactly like the other sweeps; shards are
+    worker-count packings, so a resume only reuses the journal when
+    ``workers`` matches.
     """
     mix = parse_mix(mix)
     if size <= 0:
         raise ValueError("size must be positive")
     if report is None:
         report = ExecutionReport()
-    slices = chunk_indices(size, resolve_workers(workers))
+    assignment = assign_archetypes(mix, size)
+    cost_model = CostModel.from_trajectory()
+    weights = [
+        cost_model.archetype_weight(assignment[index][0])
+        for index in range(size)
+    ]
+    groups = pack_by_weight(weights, resolve_workers(workers))
     shards = [
         (device, seed, size, mix, users, actions_per_user, config,
          indices)
-        for indices in slices
+        for indices in groups
     ]
-    keys = [f"sc|{indices[0]}-{indices[-1]}" for indices in slices]
+    keys = [
+        f"sc|{indices[0]}-{indices[-1]}x{len(indices)}"
+        for indices in groups
+    ]
     journal = None
     if checkpoint is not None:
         journal = ShardJournal(

@@ -1,0 +1,428 @@
+"""Continuous fleet mode: a long-lived crowd sweep with churn.
+
+The crowd sweep (:mod:`repro.harness.exp_crowd`) deploys a fixed fleet
+for a fixed number of sync rounds.  A real deployment never looks like
+that: devices join and leave mid-study, the knowledge base republishes
+on a cadence rather than per upload, and the scheduler has to keep the
+pool busy as the fleet reshapes around it.  ``stream_sweep`` models
+exactly that — one long-lived run of *rounds* sync rounds over a fleet
+whose membership evolves on a **seeded churn schedule**, dispatched
+through the elastic scheduler (:mod:`repro.sched`) so stragglers are
+stolen from and dead workers reshard instead of serializing the round.
+
+Determinism contract (the acceptance criteria of the stream smokes):
+
+* **Churn is data, not timing.**  Join/leave events draw from the
+  keyed ``device_churn`` fault channel — the verdict for (kind, round,
+  slot) depends only on (seed, churn rate), never on draw order — so
+  the membership schedule, and with it every published snapshot and
+  every device round, is identical for any worker count.
+* **Executor failures are timing, not data.**  ``worker_kill_rate`` /
+  ``shard_stall_rate`` storms (and real crashes) change *where* work
+  runs, never *what* it computes: every device round is a pure
+  function of its payload and results merge in key order.  Rendered
+  output is byte-identical between a stormed and an unharmed run, and
+  the journal run key deliberately excludes the executor knobs so a
+  killed run resumes under a different storm.
+* **Scheduling telemetry is advisory.**  Steal/reshard counts depend
+  on real wall-clock timing, so they live in the
+  :class:`~repro.parallel.ExecutionReport` (``--verbose`` /
+  ``--report-json``) and on the advisory telemetry channel
+  (``stream.sched`` events, one per round) — never in rendered output.
+* **Crowd equivalence.**  With churn off, executor faults off, and
+  ``publish_every=1``, a static fleet of size *n* reruns the crowd
+  sweep's deployment exactly: same per-(device, round) seeds, same
+  publish→run→ingest order, same final pending-batch flush — the
+  stream's aggregate totals reproduce the ``crowd`` cell bit for bit
+  (defended by ``tests/test_sched.py``).
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.checkpoint import ShardJournal, run_key
+from repro.core.blocking_db import BlockingApiDatabase
+from repro.crowd import CrowdAggregator
+from repro.faults import FaultInjector, FaultPlan
+from repro.harness.exp_crowd import (
+    CROWD_APPS,
+    _crowd_device_round,
+    _ingest_round,
+)
+from repro.harness.tables import render_table
+from repro.parallel import ExecutionReport
+from repro.sched import CostModel, ElasticScheduler
+from repro.telemetry import current as telemetry
+
+#: Default sync rounds of a stream run.
+DEFAULT_ROUNDS = 6
+
+#: Floor on the auto-sized straggler deadline (seconds) — a spurious
+#: steal only wastes work, but not below this.
+MIN_DEADLINE = 5.0
+
+#: Safety factor between the cost model's wall-clock estimate for one
+#: device round and the steal deadline derived from it.
+DEADLINE_FACTOR = 200.0
+
+#: Per-round batch-accounting keys (the crowd sweep's stats contract).
+_STAT_KEYS = ("batches_ingested", "batches_dropped", "batches_duplicated",
+              "batches_late", "duplicates_ignored")
+
+
+def stream_deadline(cost_model, app_count, actions):
+    """Straggler deadline sized from the perf-trajectory anchor.
+
+    Coarse on purpose: stealing too early costs duplicate work (never
+    correctness), stealing too late costs latency.  Returns ``None``
+    when the cost model has no wall-clock anchor — stealing then waits
+    for an explicit ``deadline``.
+    """
+    weight = cost_model.device_round_weight(app_count, actions)
+    estimate = cost_model.estimate_seconds(weight, actions)
+    if estimate is None:
+        return None
+    return max(MIN_DEADLINE, DEADLINE_FACTOR * estimate)
+
+
+@dataclass(frozen=True)
+class StreamRound:
+    """One sync round of the stream — deterministic fields only.
+
+    Everything here is a pure function of (seed, stream parameters):
+    membership comes off the keyed churn schedule, the published
+    snapshot and device results off pure per-payload functions, and
+    upload-fault outcomes off serial parent-side draws.  Timing-driven
+    scheduling activity (steals, reshards) is deliberately absent —
+    it lives in the execution report.
+    """
+
+    round_index: int
+    #: Device ids that ran this round (after churn), ascending.
+    fleet: Tuple[int, ...]
+    joined: Tuple[int, ...]
+    left: Tuple[int, ...]
+    #: Whether this round refreshed the published snapshot.
+    published: bool
+    #: Known bugs / blocking APIs in the snapshot the round ran with.
+    known_bugs: int
+    blocking_apis: int
+    phase2_collections: int
+    kb_short_circuits: int
+    batches_ingested: int
+    batches_dropped: int
+    batches_duplicated: int
+    batches_late: int
+    duplicates_ignored: int
+
+    @property
+    def collections_per_device(self):
+        """Phase-2 collections per member this round (the cost curve)."""
+        return self.phase2_collections / max(1, len(self.fleet))
+
+
+@dataclass
+class StreamResult:
+    """A full continuous-fleet run: the per-round time series plus the
+    final aggregate the last round's snapshot was drawn from."""
+
+    rounds: List[StreamRound]
+    fleet_size: int
+    churn_rate: float
+    publish_every: int
+    apps: Tuple[str, ...]
+    fault_rate: float
+    #: Aggregate totals including the final pending-batch flush —
+    #: comparable field-for-field with a crowd-sweep cell.
+    phase2_collections: int = 0
+    kb_short_circuits: int = 0
+    bugs_detected: int = 0
+    known_bugs: int = 0
+    new_blocking_apis: int = 0
+    batches_ingested: int = 0
+    batches_dropped: int = 0
+    batches_duplicated: int = 0
+    batches_late: int = 0
+    duplicates_ignored: int = 0
+    #: Total device-rounds actually run (fleet sizes summed over rounds).
+    device_rounds: int = 0
+    #: How the run executed (steals, reshards, retries, checkpoint
+    #: hits); advisory — never part of the rendered output.
+    execution: Optional[ExecutionReport] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def final_summary(self):
+        """The crowd-comparable aggregate as a plain dict."""
+        return {
+            "phase2_collections": self.phase2_collections,
+            "kb_short_circuits": self.kb_short_circuits,
+            "bugs_detected": self.bugs_detected,
+            "known_bugs": self.known_bugs,
+            "new_blocking_apis": self.new_blocking_apis,
+            "batches_ingested": self.batches_ingested,
+            "batches_dropped": self.batches_dropped,
+            "batches_duplicated": self.batches_duplicated,
+            "batches_late": self.batches_late,
+            "duplicates_ignored": self.duplicates_ignored,
+        }
+
+    def render(self):
+        """ASCII rendering: the per-round time series + final totals."""
+        headers = ("round", "fleet", "join", "leave", "pub", "known",
+                   "APIs", "phase2", "p2/dev", "shortcut", "batches",
+                   "drop/dup/late")
+        rows = []
+        for entry in self.rounds:
+            rows.append((
+                entry.round_index,
+                len(entry.fleet),
+                "+" + ",".join(str(d) for d in entry.joined)
+                if entry.joined else "-",
+                "-" + ",".join(str(d) for d in entry.left)
+                if entry.left else "-",
+                "yes" if entry.published else "-",
+                entry.known_bugs,
+                entry.blocking_apis,
+                entry.phase2_collections,
+                f"{entry.collections_per_device:.2f}",
+                entry.kb_short_circuits,
+                entry.batches_ingested,
+                f"{entry.batches_dropped}/{entry.batches_duplicated}"
+                f"/{entry.batches_late}",
+            ))
+        table = render_table(
+            headers, rows,
+            title=(
+                f"Stream - {len(self.apps)} apps, {len(self.rounds)} "
+                f"rounds, fleet {self.fleet_size}, churn "
+                f"{self.churn_rate:g}, publish every {self.publish_every}, "
+                f"fault rate {self.fault_rate:g}"
+            ),
+        )
+        first = self.rounds[0]
+        last = self.rounds[-1]
+        return (
+            f"{table}\n"
+            f"aggregate: {self.phase2_collections} phase-2 collection(s) "
+            f"over {self.device_rounds} device-round(s), "
+            f"{self.known_bugs} known bug(s) published, "
+            f"{self.new_blocking_apis} blocking API(s) discovered; "
+            f"per-device cost {first.collections_per_device:.2f} -> "
+            f"{last.collections_per_device:.2f} "
+            f"(round {first.round_index} -> {last.round_index})"
+        )
+
+
+def _churn_round(faults, round_index, members, next_id, fleet_size):
+    """Apply the keyed churn schedule for one round.
+
+    Joins draw per nominal slot (so the arrival rate tracks the
+    configured fleet size), then leaves draw per current member;
+    the last member never leaves — a fleet that empties has no round
+    to run and no uploads to republish, so the stream would stall
+    semantically.  Returns (members, next_id, joined, left), members
+    ascending.  Every verdict is keyed by (kind, round, id): the
+    schedule is a pure function of (seed, churn rate) and identical
+    for any worker count or executor-failure schedule.
+    """
+    joined = []
+    left = []
+    if faults is not None:
+        for slot in range(fleet_size):
+            if faults.device_churn_fault("join", round_index, slot):
+                joined.append(next_id)
+                members = members + [next_id]
+                next_id += 1
+        for member in sorted(members):
+            if len(members) <= 1:
+                break
+            if faults.device_churn_fault("leave", round_index, member):
+                members = [m for m in members if m != member]
+                left.append(member)
+    return sorted(members), next_id, tuple(joined), tuple(left)
+
+
+def stream_sweep(device, seed=0, rounds=DEFAULT_ROUNDS, fleet_size=4,
+                 churn_rate=0.0, publish_every=1, apps=None,
+                 actions_per_round=40, fault_rate=0.0,
+                 worker_kill_rate=0.0, shard_stall_rate=0.0, workers=1,
+                 checkpoint=None, resume=False, report=None,
+                 deadline=None):
+    """Run the continuous fleet; returns a :class:`StreamResult`.
+
+    ``churn_rate`` drives the keyed join/leave schedule;
+    ``publish_every`` sets the knowledge-republish cadence (1 = every
+    round, the crowd sweep's behaviour); ``fault_rate`` drives the
+    upload-path seams exactly as in the crowd sweep.
+    ``worker_kill_rate`` / ``shard_stall_rate`` inject an executor
+    storm for the elastic scheduler to absorb — they never change
+    rendered output and are deliberately excluded from the checkpoint
+    run key, so a killed run resumes under any storm.  ``deadline``
+    overrides the cost-model-sized straggler deadline (wall seconds;
+    only timing, never output).
+    """
+    apps = tuple(apps) if apps else CROWD_APPS
+    if fleet_size < 1:
+        raise ValueError(f"fleet_size must be >= 1, got {fleet_size}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if publish_every < 1:
+        raise ValueError(
+            f"publish_every must be >= 1, got {publish_every}"
+        )
+    for name, rate in (("churn_rate", churn_rate),
+                       ("fault_rate", fault_rate),
+                       ("worker_kill_rate", worker_kill_rate),
+                       ("shard_stall_rate", shard_stall_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    if report is None:
+        report = ExecutionReport()
+    journal = None
+    if checkpoint is not None:
+        # The run key spans everything that shapes output — and
+        # nothing that only shapes timing: workers, the executor-storm
+        # rates, and the deadline are all absent on purpose.
+        journal = ShardJournal(
+            checkpoint,
+            run_key("stream", device.name, seed, rounds, fleet_size,
+                    churn_rate, publish_every, apps, actions_per_round,
+                    fault_rate),
+            report=report,
+        ).open(resume=resume)
+    elif resume:
+        raise ValueError("resume requires a checkpoint directory")
+    churn = None
+    if churn_rate > 0.0:
+        churn = FaultInjector(FaultPlan(device_churn_rate=churn_rate),
+                              seed=seed, scope=("stream-churn",))
+    upload = None
+    if fault_rate > 0.0:
+        upload = FaultInjector(
+            FaultPlan(report_drop_rate=fault_rate,
+                      report_duplicate_rate=fault_rate,
+                      report_delay_rate=fault_rate),
+            seed=seed, scope=("stream-upload",),
+        )
+    storm = None
+    if worker_kill_rate > 0.0 or shard_stall_rate > 0.0:
+        storm = FaultInjector(
+            FaultPlan(worker_kill_rate=worker_kill_rate,
+                      shard_stall_rate=shard_stall_rate),
+            seed=seed, scope=("stream-exec",),
+        )
+    cost_model = CostModel.from_trajectory()
+    if deadline is None:
+        deadline = stream_deadline(cost_model, len(apps),
+                                   actions_per_round)
+    scheduler = ElasticScheduler(
+        workers=workers, cost_model=cost_model, faults=storm,
+        journal=journal, report=report, deadline=deadline, seed=seed,
+    )
+    members = list(range(fleet_size))
+    next_id = fleet_size
+    aggregator = CrowdAggregator()
+    pending = []
+    snapshot = None
+    series = []
+    sites = set()
+    totals = dict.fromkeys(_STAT_KEYS, 0)
+    total_phase2 = 0
+    total_shorts = 0
+    device_rounds = 0
+    tel = telemetry()
+    with tel.track("stream"):
+        for round_index in range(rounds):
+            with tel.span("stream.round", round=round_index):
+                members, next_id, joined, left = _churn_round(
+                    churn, round_index, members, next_id, fleet_size
+                )
+                report.churn_events += len(joined) + len(left)
+                published = round_index % publish_every == 0
+                if published or snapshot is None:
+                    snapshot = (
+                        aggregator.knowledge(),
+                        tuple(aggregator.publish_database().sorted_names()),
+                    )
+                knowledge, db_names = snapshot
+                tel.event(
+                    "stream.publish", float(round_index),
+                    fleet=len(members), known_bugs=len(knowledge),
+                    blocking_apis=len(db_names), refreshed=published,
+                )
+                payloads = [
+                    (device, seed, apps, device_index, round_index,
+                     actions_per_round, knowledge, db_names,
+                     f"stream/d{device_index}/r{round_index}")
+                    for device_index in members
+                ]
+                keys = [
+                    f"stream|r{round_index}|d{device_index}"
+                    for device_index in members
+                ]
+                weights = [
+                    cost_model.device_round_weight(len(apps),
+                                                   actions_per_round)
+                ] * len(payloads)
+                steals_before = report.steals
+                reshards_before = report.reshards
+                results = scheduler.map(_crowd_device_round, payloads,
+                                        keys, weights=weights)
+                tel.advisory_event(
+                    "stream.sched", round=round_index,
+                    steals=report.steals - steals_before,
+                    reshards=report.reshards - reshards_before,
+                    dispatch_rounds=scheduler.dispatch_rounds,
+                )
+                phase2 = sum(r.phase2_collections for r in results)
+                shorts = sum(r.kb_short_circuits for r in results)
+                for result in results:
+                    sites.update(result.detected_sites)
+                stats = dict.fromkeys(_STAT_KEYS, 0)
+                aggregator, pending = _ingest_round(
+                    aggregator, pending, results, upload, stats
+                )
+                for key in _STAT_KEYS:
+                    totals[key] += stats[key]
+                total_phase2 += phase2
+                total_shorts += shorts
+                device_rounds += len(members)
+                series.append(StreamRound(
+                    round_index=round_index,
+                    fleet=tuple(members),
+                    joined=joined,
+                    left=left,
+                    published=published,
+                    known_bugs=len(knowledge),
+                    blocking_apis=len(db_names),
+                    phase2_collections=phase2,
+                    kb_short_circuits=shorts,
+                    **stats,
+                ))
+        if pending:
+            # Batches still in flight when the stream ends arrive late
+            # but arrive — same flush the crowd sweep performs, so the
+            # static-fleet aggregate converges to the crowd cell.
+            stats = dict.fromkeys(_STAT_KEYS, 0)
+            aggregator, _ = _ingest_round(aggregator, pending, (), None,
+                                          stats)
+            for key in _STAT_KEYS:
+                totals[key] += stats[key]
+    published_db = aggregator.publish_database()
+    return StreamResult(
+        rounds=series,
+        fleet_size=fleet_size,
+        churn_rate=churn_rate,
+        publish_every=publish_every,
+        apps=apps,
+        fault_rate=fault_rate,
+        phase2_collections=total_phase2,
+        kb_short_circuits=total_shorts,
+        bugs_detected=len(sites),
+        known_bugs=len(aggregator.knowledge()),
+        new_blocking_apis=len(published_db.runtime_discoveries()),
+        device_rounds=device_rounds,
+        execution=report,
+        **totals,
+    )

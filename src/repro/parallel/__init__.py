@@ -21,6 +21,7 @@ of happening silently.
 
 from repro.parallel.executor import (
     ExecutionReport,
+    PartialResult,
     chunk_indices,
     parallel_map,
     resolve_workers,
@@ -28,6 +29,7 @@ from repro.parallel.executor import (
 
 __all__ = [
     "ExecutionReport",
+    "PartialResult",
     "chunk_indices",
     "parallel_map",
     "resolve_workers",

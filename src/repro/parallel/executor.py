@@ -90,6 +90,16 @@ class ExecutionReport:
     #: Checkpoint writes that died mid-stream (torn; journal entry
     #: discarded, shard re-runs on resume).
     torn_writes: int = 0
+    #: Work items stolen from stragglers by the elastic scheduler
+    #: (reclaimed past a seeded deadline and repacked onto the rest of
+    #: the pool — see :mod:`repro.sched`).
+    steals: int = 0
+    #: Work items dynamically resharded after a worker death (their
+    #: shard died with the pool and the scheduler repacked them).
+    reshards: int = 0
+    #: Fleet-membership changes (devices joining or leaving a
+    #: streaming deployment — see :mod:`repro.harness.exp_stream`).
+    churn_events: int = 0
     #: Human-readable event log, in occurrence order.
     events: List[str] = field(default_factory=list)
 
@@ -121,6 +131,9 @@ class ExecutionReport:
             "serial_fallbacks": self.serial_fallbacks,
             "checkpoint_hits": self.checkpoint_hits,
             "torn_writes": self.torn_writes,
+            "steals": self.steals,
+            "reshards": self.reshards,
+            "churn_events": self.churn_events,
             "degraded": self.degraded,
             "events": list(self.events),
         }
@@ -145,6 +158,9 @@ class ExecutionReport:
         self.serial_fallbacks += other.serial_fallbacks
         self.checkpoint_hits += other.checkpoint_hits
         self.torn_writes += other.torn_writes
+        self.steals += other.steals
+        self.reshards += other.reshards
+        self.churn_events += other.churn_events
         self.events.extend(other.events)
         return self
 
@@ -163,6 +179,9 @@ class ExecutionReport:
             ("serial fallbacks", self.serial_fallbacks),
             ("checkpoint hits", self.checkpoint_hits),
             ("torn checkpoint writes", self.torn_writes),
+            ("items stolen from stragglers", self.steals),
+            ("items resharded after worker loss", self.reshards),
+            ("fleet churn events", self.churn_events),
         )
         for name, value in counters:
             if value:
@@ -170,6 +189,34 @@ class ExecutionReport:
         for event in self.events:
             lines.append(f"  - {event}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """Outcome of a reclaim-mode :func:`parallel_map` call.
+
+    Reclaim mode (``reclaim=True``) hands scheduling policy back to
+    the caller: instead of forcing every shard to completion (pool
+    rebuilds, in-process last resort), the supervisor runs one pool
+    attempt and *returns* whatever finished, plus the indices it could
+    not finish — so an elastic scheduler (:mod:`repro.sched`) can
+    split, repack, and redistribute the unfinished work instead of
+    serializing it.
+    """
+
+    #: Completed shard results, by submission index.
+    values: dict
+    #: Indices whose result wait exceeded the deadline (stragglers —
+    #: candidates for work stealing).
+    stalled: tuple
+    #: Indices whose shard died with the pool or never got submitted
+    #: (candidates for dynamic resharding).
+    crashed: tuple
+
+    @property
+    def unfinished(self):
+        """All indices not completed, ascending."""
+        return tuple(sorted(set(self.stalled) | set(self.crashed)))
 
 
 def resolve_workers(workers):
@@ -301,7 +348,8 @@ def _collect(results, index, value, on_result):
         on_result(index, value)
 
 
-def _drain(futures, results, deadline, report, on_result):
+def _drain(futures, results, deadline, report, on_result,
+           submitted=None):
     """Collect finished futures; classify timeouts and pool breakage.
 
     Returns ``(stalled, crashed)`` index lists: *stalled* shards blew
@@ -309,6 +357,15 @@ def _drain(futures, results, deadline, report, on_result):
     stall again on a fresh pool, its verdict being a pure function of
     the shard), *crashed* shards died with the pool (they retry on a
     rebuilt one).
+
+    *submitted* maps each index to its ``time.monotonic()`` submission
+    timestamp.  Each shard's deadline is measured from *that* moment,
+    not from when the drain loop finally waits on its future: the
+    shards drain in index order, so by the time a stalled shard's turn
+    comes it has already been running for as long as every
+    earlier-indexed shard's wait took — granting it a fresh full
+    deadline on top would let a slow-but-progressing pool extend a
+    stalled shard several deadlines' worth of wall time.
     """
     stalled = []
     crashed = []
@@ -318,7 +375,13 @@ def _drain(futures, results, deadline, report, on_result):
         try:
             # After a pool break every unfinished future fails fast,
             # so skipping the wait just avoids a pointless deadline.
-            timeout = 0 if broken else deadline
+            if broken:
+                timeout = 0
+            elif deadline is None:
+                timeout = None
+            else:
+                elapsed = time.monotonic() - submitted[index]
+                timeout = max(0.0, deadline - elapsed)
             _collect(results, index, future.result(timeout=timeout),
                      on_result)
         except FutureTimeoutError:
@@ -327,7 +390,7 @@ def _drain(futures, results, deadline, report, on_result):
                 continue
             report.deadline_hits += 1
             report.record("deadline", f"shard {index} exceeded "
-                          f"{deadline:g}s; re-running in-process")
+                          f"{deadline:g}s since submission")
             stalled.append(index)
         except BrokenProcessPool:
             if not broken:
@@ -341,7 +404,7 @@ def _drain(futures, results, deadline, report, on_result):
 
 def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
                  retries=2, backoff=0.05, faults=None, report=None,
-                 on_result=None, shard_tracks=None):
+                 on_result=None, shard_tracks=None, reclaim=False):
     """Ordered ``[fn(item) for item in items]`` over a supervised pool.
 
     *fn* must be a module-level callable for process execution; the
@@ -371,6 +434,15 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
     Ignored without an active session; without it, stable
     ``shard/m<map>.<index>`` names are generated.  Shard code that
     sets its own semantic track scopes overrides the default either
+    way.
+
+    With *reclaim* the call runs at most one pool attempt and returns
+    a :class:`PartialResult` instead of a list: stalled and crashed
+    shards come back *unfinished* (no pool rebuild, no in-process
+    rerun) so the caller — the elastic scheduler — can repack them.
+    The serial paths (one worker, unpicklable payloads, no pool)
+    still complete everything; only genuinely supervised execution can
+    leave work unfinished.  Shard-function exceptions raise either
     way.
     """
     del chunksize  # per-shard submission supersedes chunked map
@@ -407,12 +479,34 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
             ]
         return _raise_first_failure(values)
 
+    def finish_partial(values, stalled, crashed):
+        # Reclaim-mode epilogue: absorb and unwrap only what finished
+        # (ascending index, so per-track renumbering stays
+        # deterministic), raise the earliest completed failure, and
+        # hand the unfinished indices back to the caller.
+        if collect:
+            values = {
+                index: (value if isinstance(value, _ShardFailure)
+                        else absorb_value(value, tracks[index]))
+                for index, value in sorted(values.items())
+            }
+        _raise_first_failure([values[i] for i in sorted(values)])
+        return PartialResult(values=dict(values),
+                             stalled=tuple(sorted(stalled)),
+                             crashed=tuple(sorted(crashed)))
+
     if workers <= 1 or len(items) <= 1:
-        return finish(_serial(fn, items, on_result, collect))
+        values = _serial(fn, items, on_result, collect)
+        if reclaim:
+            return finish_partial(dict(enumerate(values)), (), ())
+        return finish(values)
     if not _picklable((fn, items, faults)):
         report.serial_fallbacks += 1
         report.record("serial-fallback", "payload not picklable")
-        return finish(_serial(fn, items, on_result, collect))
+        values = _serial(fn, items, on_result, collect)
+        if reclaim:
+            return finish_partial(dict(enumerate(values)), (), ())
+        return finish(values)
 
     results = {}
     pending = list(range(len(items)))
@@ -442,12 +536,14 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
             pending = []
             break
         futures = {}
+        submitted = {}
         unsubmitted = []
         for index in pending:
             try:
                 futures[index] = pool.submit(_supervised, fn, items[index],
                                              index, attempt, faults,
                                              collect)
+                submitted[index] = time.monotonic()
             except BrokenProcessPool:
                 # A worker died while we were still submitting; the
                 # rest of this batch retries on the rebuilt pool.
@@ -456,15 +552,23 @@ def parallel_map(fn, items, workers=1, chunksize=1, deadline=None,
                 report.record("worker-crash", "pool broke during submission")
                 break
         timed_out, crashed = _drain(futures, results, deadline, report,
-                                    on_result)
+                                    on_result, submitted)
         stalled.extend(timed_out)
         pending = crashed + unsubmitted
         # Never block on a stalled worker: abandoned shards keep their
         # process busy until the sleep/livelock ends, and the
         # supervisor has already moved on.
         pool.shutdown(wait=not timed_out, cancel_futures=True)
+        if reclaim:
+            # The scheduler wants the unfinished work back, not a
+            # rebuilt pool: one attempt, then report what's left.
+            return finish_partial(results, stalled, pending)
         attempt += 1
 
+    if reclaim:
+        # Reached only through the pool-unavailable serial fallback,
+        # which completed everything in-process.
+        return finish_partial(results, stalled, pending)
     for index in pending + stalled:
         # Last resort: the pool kept dying or the shard kept stalling.
         # Shard functions are pure, so the in-process run returns the

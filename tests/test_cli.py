@@ -59,3 +59,16 @@ def test_parser_requires_command():
 def test_device_selection(capsys):
     out = run_cli(capsys, "--device", "nexus-5", "apps")
     assert "K9-mail" in out
+
+
+def test_stream_quick_renders_series_and_report(capsys):
+    out = run_cli(capsys, "--seed", "7", "stream", "--quick",
+                  "--churn-rate", "0.2", "--verbose")
+    assert "Stream - " in out
+    assert "aggregate:" in out
+    assert "execution:" in out
+
+
+def test_stream_resume_requires_checkpoint():
+    with pytest.raises(SystemExit, match="--resume requires"):
+        main(["stream", "--quick", "--resume"])

@@ -412,9 +412,10 @@ def test_retried_shard_draws_a_fresh_kill_verdict():
 
 
 def test_channel_family_constants_pin_the_exclusion_sets():
-    """The two opt-in fault families, pinned so a new channel must be
+    """The opt-in fault families, pinned so a new channel must be
     classified deliberately: executor channels stress the harness,
-    network channels stress the serve client/service wire."""
+    network channels stress the serve client/service wire, fleet
+    channels reshape stream-mode fleet membership."""
     assert FaultPlan.EXECUTOR_CHANNELS == (
         "worker_kill_rate", "shard_stall_rate", "torn_write_rate",
     )
@@ -422,6 +423,7 @@ def test_channel_family_constants_pin_the_exclusion_sets():
         "request_drop_rate", "request_delay_rate",
         "connection_reset_rate", "response_corrupt_rate",
     )
+    assert FaultPlan.FLEET_CHANNELS == ("device_churn_rate",)
 
 
 def test_uniform_plan_keeps_network_channels_off():
@@ -430,7 +432,8 @@ def test_uniform_plan_keeps_network_channels_off():
     must stay opt-in — a chaos sweep at rate r must not also drop its
     own crowd uploads."""
     plan = FaultPlan.uniform(0.9)
-    for name in FaultPlan.NETWORK_CHANNELS + FaultPlan.EXECUTOR_CHANNELS:
+    for name in (FaultPlan.NETWORK_CHANNELS + FaultPlan.EXECUTOR_CHANNELS
+                 + FaultPlan.FLEET_CHANNELS):
         assert getattr(plan, name) == 0.0, name
 
 
@@ -487,3 +490,47 @@ def test_request_delay_returns_plan_milliseconds():
     plan = FaultPlan(request_delay_rate=1.0, request_delay_ms=40.0)
     injector = FaultInjector(plan, seed=0)
     assert injector.request_delay_fault("b", 1) == 40.0
+
+
+# ------------------------------------------------------ fleet channels
+
+
+def test_device_churn_verdicts_keyed_by_event():
+    """(kind, round, slot) fully determines each churn verdict —
+    independent of draw order or other channels — so stream-mode fleet
+    membership is a pure function of (seed, churn rate) and survives
+    any worker count or executor-failure schedule."""
+    plan = FaultPlan(device_churn_rate=0.4, worker_kill_rate=0.4)
+    forward = FaultInjector(plan, seed=13, scope=("stream-churn",))
+    backward = FaultInjector(plan, seed=13, scope=("stream-churn",))
+    events = [(kind, r, s) for kind in ("join", "leave")
+              for r in range(6) for s in range(5)]
+    fwd = [forward.device_churn_fault(*event) for event in events]
+    bwd = []
+    for event in reversed(events):
+        backward.worker_kill_fault(event[1], 0)  # interleaved channel
+        bwd.append(backward.device_churn_fault(*event))
+    assert bwd[::-1] == fwd
+    assert any(fwd) and not all(fwd)
+    # Join and leave draw from distinct keys: the same (round, slot)
+    # can join without also leaving.
+    joins = [forward.device_churn_fault("join", r, s)
+             for r in range(6) for s in range(5)]
+    leaves = [forward.device_churn_fault("leave", r, s)
+              for r in range(6) for s in range(5)]
+    assert joins != leaves
+
+
+def test_device_churn_never_draws_at_rate_zero():
+    injector = FaultInjector(FaultPlan(), seed=0)
+    for r in range(4):
+        assert not injector.device_churn_fault("join", r, 0)
+        assert not injector.device_churn_fault("leave", r, 0)
+    assert injector.draws == {}
+
+
+def test_device_churn_rate_validates_like_the_rest():
+    with pytest.raises(ValueError, match="device_churn_rate"):
+        FaultPlan(device_churn_rate=1.2).validate()
+    with pytest.raises(ValueError, match="device_churn_rate"):
+        FaultPlan(device_churn_rate=-0.1).validate()

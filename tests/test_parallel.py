@@ -385,3 +385,172 @@ def test_fleet_stability_parallel_equals_serial(device):
     parallel = fleet_stability(device, workers=2, **kwargs)
     assert parallel.render() == serial.render()
     assert parallel.seeds == (1, 2)
+
+
+# ----------------------------------------------------- reclaim mode
+
+
+def _sleepy_square(x):
+    """Slow-but-progressing work: every shard takes real time but
+    none of them is stalled."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(0.6)
+    return x * x
+
+
+def _stall_one_sleep_rest(x):
+    """Item 0 stalls outright; the rest are merely slow."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(60.0 if x == 0 else 0.6)
+    return x * x
+
+
+def test_reclaim_serial_path_completes_everything():
+    from repro.parallel import PartialResult
+
+    partial = parallel_map(_square, [1, 2, 3], workers=1, reclaim=True)
+    assert isinstance(partial, PartialResult)
+    assert partial.values == {0: 1, 1: 4, 2: 9}
+    assert partial.unfinished == ()
+
+
+def test_reclaim_returns_crashed_shards_unfinished():
+    """Reclaim mode hands worker-death casualties back to the caller
+    instead of rebuilding the pool: exactly one attempt runs."""
+    report = ExecutionReport()
+    partial = parallel_map(_die_in_worker, list(range(20)), workers=4,
+                           report=report, reclaim=True)
+    assert 13 in partial.crashed
+    assert all(partial.values[i] == i * i for i in partial.values)
+    assert report.pool_attempts == 1
+    assert report.in_process_shards == 0
+
+
+def test_reclaim_returns_stalled_shards_unfinished():
+    report = ExecutionReport()
+    partial = parallel_map(_stall_in_worker, list(range(4)), workers=2,
+                           deadline=1.0, report=report, reclaim=True)
+    assert partial.stalled == (2,)
+    assert set(partial.values) == {0, 1, 3}
+    assert report.deadline_hits == 1
+    assert report.in_process_shards == 0
+
+
+def test_reclaim_propagates_task_errors():
+    with pytest.raises(ValueError, match="boom"):
+        parallel_map(_boom, [1, 2], workers=2, reclaim=True)
+
+
+def test_deadline_measured_from_submission_not_drain_order():
+    """Regression: the drain loop waits on futures in index order, and
+    the per-shard deadline used to start ticking only when a shard's
+    *turn* came — so a slow-but-progressing pool granted a stalled
+    shard one fresh deadline per earlier slow shard.  The deadline now
+    measures from submission: the stalled shard times out once, about
+    one deadline after the map started, no matter how many slow shards
+    drained before it."""
+    report = ExecutionReport()
+    start = time.monotonic()
+    partial = parallel_map(_stall_one_sleep_rest, list(range(4)),
+                           workers=4, deadline=1.2, report=report,
+                           reclaim=True)
+    elapsed = time.monotonic() - start
+    assert partial.stalled == (0,)
+    assert set(partial.values) == {1, 2, 3}
+    assert report.deadline_hits == 1
+    # Old behaviour: item 0 is first in drain order, gets a full 1.2s,
+    # times out, then items 1..3 drain — fine.  But reverse the stall
+    # and every slow shard's wait would have extended the stalled
+    # one's budget.  The submission-measured deadline bounds the whole
+    # call near one deadline (plus slack for pool startup).
+    assert elapsed < 5.0
+    assert any("since submission" in event for event in report.events)
+
+
+def test_slow_but_progressing_pool_grants_one_deadline_total():
+    """The sharper half of the regression: the *stalled* shard drains
+    last, after three slow shards, and must still be declared stalled
+    — its elapsed time already exceeds the deadline when its turn
+    comes, so the wait is (near) zero rather than a fresh 1.2s."""
+    report = ExecutionReport()
+    start = time.monotonic()
+    partial = parallel_map(_stall_last_sleep_rest, list(range(4)),
+                           workers=4, deadline=1.2, report=report,
+                           reclaim=True)
+    elapsed = time.monotonic() - start
+    assert partial.stalled == (3,)
+    assert report.deadline_hits == 1
+    # With drain-order deadlines this would take ~0.6 (slow shards)
+    # + 1.2 (fresh deadline for the stalled one) at minimum, and the
+    # stalled shard historically got up to three extra grants.  From
+    # submission it is ~max(0.6, 1.2) + startup slack.
+    assert elapsed < 3.0
+
+
+def _stall_last_sleep_rest(x):
+    """Highest index stalls; earlier indices are slow, so the stalled
+    shard's turn in the index-ordered drain comes last."""
+    if multiprocessing.parent_process() is not None:
+        time.sleep(60.0 if x == 3 else 0.6)
+    return x * x
+
+
+# ------------------------------------- report merge algebra
+
+
+def _report(tag, **counters):
+    report = ExecutionReport(events=[f"{tag}: event"], **counters)
+    return report
+
+
+def _snapshot(report):
+    payload = report.to_dict()
+    payload["events"] = sorted(payload["events"])
+    return payload
+
+
+def test_report_merge_is_associative_and_commutative_up_to_events():
+    """Counters merge as sums and events as a multiset, so merging
+    shard reports in any grouping or order yields the same account —
+    what lets the scheduler fold per-round reports freely."""
+    reports = [
+        _report("a", shards=3, steals=2, worker_crashes=1),
+        _report("b", reshards=4, churn_events=2, deadline_hits=1),
+        _report("c", checkpoint_hits=5, torn_writes=1, shard_retries=2),
+    ]
+
+    def merged(order):
+        total = ExecutionReport()
+        for index in order:
+            clone = ExecutionReport(**{
+                key: value for key, value in
+                reports[index].to_dict().items()
+                if key not in ("degraded",)
+            })
+            total.merge(clone)
+        return _snapshot(total)
+
+    baseline = merged([0, 1, 2])
+    # Commutativity (up to event order): every permutation agrees.
+    assert merged([2, 1, 0]) == baseline
+    assert merged([1, 0, 2]) == baseline
+    # Associativity: (a + b) + c == a + (b + c), field for field.
+    left = ExecutionReport().merge(reports[0]).merge(reports[1])
+    left.merge(reports[2])
+    right_tail = ExecutionReport().merge(reports[1]).merge(reports[2])
+    right = ExecutionReport().merge(reports[0]).merge(right_tail)
+    assert _snapshot(left) == _snapshot(right)
+
+
+def test_report_new_counters_round_trip_and_describe():
+    report = ExecutionReport(steals=2, reshards=3, churn_events=4)
+    payload = report.to_dict()
+    assert payload["steals"] == 2
+    assert payload["reshards"] == 3
+    assert payload["churn_events"] == 4
+    text = report.describe()
+    assert "stolen" in text
+    assert "resharded" in text
+    assert "churn" in text
+    # Scheduling activity is advisory: it never flips degraded.
+    assert not report.degraded

@@ -1,0 +1,402 @@
+"""The elastic shard scheduler and continuous fleet mode.
+
+The headline guarantees under test: weight packing is a deterministic
+partition, the scheduler's output equals a plain serial map under any
+injected kill/stall storm (failure schedules change timing, never
+bytes), every steal/reshard decision is journaled before it is acted
+on, and ``stream_sweep`` renders byte-identically across worker
+counts, executor storms, checkpoint resume — and reproduces the crowd
+sweep's aggregate bit-for-bit when churn and faults are off.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.checkpoint import ShardJournal, run_key
+from repro.faults import FaultInjector, FaultPlan
+from repro.harness.exp_crowd import crowd_sweep
+from repro.harness.exp_stream import (
+    StreamResult,
+    stream_deadline,
+    stream_sweep,
+)
+from repro.parallel import ExecutionReport
+from repro.sched import (
+    ARCHETYPE_WEIGHTS,
+    CostModel,
+    ElasticScheduler,
+    pack_by_weight,
+)
+
+# ------------------------------------------------------------- packing
+
+
+def test_pack_by_weight_partitions_ascending():
+    for count in (0, 1, 5, 7, 40):
+        for bins in (1, 2, 4, 13):
+            weights = [1.0 + (i % 5) for i in range(count)]
+            groups = pack_by_weight(weights, bins)
+            flat = sorted(i for group in groups for i in group)
+            assert flat == list(range(count))
+            for group in groups:
+                assert list(group) == sorted(group)
+            if count:
+                assert len(groups) <= min(bins, count)
+            else:
+                assert groups == []
+
+
+def test_pack_by_weight_is_deterministic():
+    weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+    assert pack_by_weight(weights, 3) == pack_by_weight(weights, 3)
+
+
+def test_pack_by_weight_balances_heavy_items():
+    # One heavy item gets a bin of its own; light items share.
+    assert pack_by_weight([3.0, 1.0, 1.0, 1.0], 2) == [(0,), (1, 2, 3)]
+    # Uniform weights degrade to near-equal counts.
+    groups = pack_by_weight([1.0] * 10, 3)
+    sizes = sorted(len(g) for g in groups)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_pack_by_weight_load_spread_beats_contiguous_split():
+    """The point of weighted packing: with skewed weights, the max
+    bin load stays close to the ideal (total / bins), which a
+    contiguous count-based split cannot promise."""
+    weights = [5.0 if i % 7 == 0 else 1.0 for i in range(35)]
+    groups = pack_by_weight(weights, 5)
+    loads = [sum(weights[i] for i in group) for group in groups]
+    ideal = sum(weights) / 5
+    assert max(loads) <= ideal + max(weights)
+
+
+def test_pack_by_weight_rejects_bad_bins():
+    with pytest.raises(ValueError, match="bins"):
+        pack_by_weight([1.0], 0)
+    assert pack_by_weight([], 0) == []
+
+
+# ---------------------------------------------------------- cost model
+
+
+def test_cost_model_archetype_weights():
+    model = CostModel()
+    assert model.archetype_weight("clean") == 1.0
+    assert model.archetype_weight("main_thread_blocking") \
+        == ARCHETYPE_WEIGHTS["main_thread_blocking"]
+    assert model.archetype_weight("never_heard_of_it") == 1.0
+
+
+def test_cost_model_unanchored_estimates_none():
+    model = CostModel()
+    assert model.ms_per_action is None
+    assert model.estimate_seconds(4.0) is None
+    assert "unanchored" in model.describe()
+
+
+def test_cost_model_from_trajectory_reads_committed_baseline():
+    """The committed BENCH_engine.json anchors the model; the weights
+    only ever steer scheduling, so this is a smoke that calibration
+    plumbing reads the real file."""
+    model = CostModel.from_trajectory()
+    if model.ms_per_action is not None:
+        assert model.ms_per_action > 0.0
+        assert model.estimate_seconds(1.0, actions=1000) > 0.0
+
+
+def test_cost_model_from_trajectory_degrades_on_garbage(tmp_path):
+    assert CostModel.from_trajectory(tmp_path).ms_per_action is None
+    (tmp_path / "BENCH_engine.json").write_text("not json")
+    assert CostModel.from_trajectory(tmp_path).ms_per_action is None
+    (tmp_path / "BENCH_engine.json").write_text(json.dumps(
+        {"entries": {"full_mode.columnar_ms_per_action": {"value": 0.5}}}
+    ))
+    assert CostModel.from_trajectory(tmp_path).ms_per_action == 0.5
+
+
+def test_stream_deadline_sized_from_anchor():
+    anchored = CostModel(ms_per_action=1.0)
+    deadline = stream_deadline(anchored, app_count=2, actions=40)
+    assert deadline is not None and deadline >= 5.0
+    assert stream_deadline(CostModel(), 2, 40) is None
+
+
+# ----------------------------------------------------------- scheduler
+
+
+def _cube(x):
+    return x ** 3
+
+
+def _die_on_17(x):
+    if x == 17 and multiprocessing.parent_process() is not None:
+        os._exit(87)
+    return x ** 3
+
+
+def _stall_on_2(x):
+    if x == 2 and multiprocessing.parent_process() is not None:
+        time.sleep(60.0)
+    return x ** 3
+
+
+def test_scheduler_map_matches_serial():
+    items = list(range(15))
+    expected = [_cube(x) for x in items]
+    keys = [f"k{i}" for i in items]
+    for workers in (1, 2, 4):
+        sched = ElasticScheduler(workers=workers)
+        assert sched.map(_cube, items, keys) == expected
+
+
+def test_scheduler_map_validates_inputs():
+    sched = ElasticScheduler(workers=1)
+    with pytest.raises(ValueError, match="one key per item"):
+        sched.map(_cube, [1, 2], ["only"])
+    with pytest.raises(ValueError, match="unique"):
+        sched.map(_cube, [1, 2], ["same", "same"])
+    with pytest.raises(ValueError, match="one weight per item"):
+        sched.map(_cube, [1, 2], ["a", "b"], weights=[1.0])
+
+
+def test_scheduler_output_survives_kill_storm():
+    """Injected worker kills reshard work across dispatch rounds; the
+    result equals a serial map and the reshards are accounted."""
+    items = list(range(24))
+    expected = [_cube(x) for x in items]
+    plan = FaultPlan(worker_kill_rate=0.5)
+    report = ExecutionReport()
+    sched = ElasticScheduler(
+        workers=3, report=report,
+        faults=FaultInjector(plan, seed=5, scope=("storm",)),
+    )
+    assert sched.map(_cube, items, [f"k{i}" for i in items]) == expected
+    assert report.reshards >= 1
+    assert sched.dispatch_rounds >= 2
+
+
+def test_scheduler_steals_from_real_straggler():
+    """A genuinely stalled worker blows the seeded deadline; its items
+    are stolen (reclaimed and repacked), and because the stall verdict
+    is worker-only, the re-dispatch completes them."""
+    items = list(range(6))
+    expected = [_cube(x) for x in items]
+    report = ExecutionReport()
+    sched = ElasticScheduler(workers=3, report=report, deadline=1.0)
+    result = sched.map(_stall_on_2, items, [f"k{i}" for i in items])
+    # _stall_on_2 only stalls in a worker process; the steal repacks
+    # item 2 into a later dispatch where it may stall again, and after
+    # MAX_IDLE_ROUNDS the fallback completes it in-process.
+    assert result == expected
+    assert report.steals >= 1
+    assert report.deadline_hits >= 1
+
+
+def test_scheduler_journals_decisions_before_acting(tmp_path):
+    """The write-ahead contract: the reassignment log carries every
+    assignment and reshard, assignments strictly before the
+    steal/reshard they produced."""
+    report = ExecutionReport()
+    journal = ShardJournal(tmp_path, run_key("sched-test")).open()
+    plan = FaultPlan(worker_kill_rate=0.5)
+    sched = ElasticScheduler(
+        workers=3, report=report, journal=journal,
+        faults=FaultInjector(plan, seed=5, scope=("storm",)),
+    )
+    items = list(range(24))
+    assert sched.map(_cube, items, [f"k{i}" for i in items]) \
+        == [_cube(x) for x in items]
+    records = journal.reassignments()
+    kinds = [record["kind"] for record in records]
+    assert kinds[0] == "assign"
+    assert "reshard" in kinds
+    # Every resharded item was named in a prior assignment.
+    assigned = set()
+    for record in records:
+        if record["kind"] == "assign":
+            for shard in record["shards"]:
+                assigned.update(shard)
+        elif record["kind"] in ("steal", "reshard"):
+            assert set(record["items"]) <= assigned
+
+
+def test_scheduler_resumes_from_journal(tmp_path):
+    report = ExecutionReport()
+    journal = ShardJournal(tmp_path, run_key("sched-resume")).open()
+    items = list(range(8))
+    keys = [f"k{i}" for i in items]
+    expected = [_cube(x) for x in items]
+    first = ElasticScheduler(workers=2, journal=journal, report=report)
+    assert first.map(_cube, items, keys) == expected
+    resumed = ShardJournal(tmp_path, run_key("sched-resume"),
+                           report=report).open(resume=True)
+    second = ElasticScheduler(workers=2, journal=resumed, report=report)
+    assert second.map(_cube, items, keys) == expected
+    assert report.checkpoint_hits >= len(items)
+
+
+def test_scheduler_worker_crash_recovery_without_injection():
+    """A real (non-injected) worker death reshards instead of
+    serializing: output is unchanged and the report says what
+    happened."""
+    items = list(range(24))
+    expected = [_cube(x) for x in items]
+    report = ExecutionReport()
+    sched = ElasticScheduler(workers=3, report=report)
+    assert sched.map(_die_on_17, items, [f"k{i}" for i in items]) \
+        == expected
+    assert report.worker_crashes >= 1
+    assert report.reshards >= 1
+
+
+# ----------------------------------------------------------- streaming
+
+
+QUICK = dict(rounds=3, fleet_size=2, apps=("K9-mail",),
+             actions_per_round=8)
+
+
+@pytest.fixture(scope="module")
+def stream_serial(device):
+    return stream_sweep(device, seed=5, churn_rate=0.25, workers=1,
+                        **QUICK)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_stream_parallel_equals_serial(device, stream_serial, workers):
+    parallel = stream_sweep(device, seed=5, churn_rate=0.25,
+                            workers=workers, **QUICK)
+    assert parallel.render() == stream_serial.render()
+
+
+def test_stream_output_identical_under_executor_storm(device,
+                                                      stream_serial):
+    """The acceptance criterion: any seeded kill/stall schedule leaves
+    rendered output byte-identical to the zero-fault run."""
+    stormed = stream_sweep(device, seed=5, churn_rate=0.25, workers=2,
+                           worker_kill_rate=0.4, shard_stall_rate=0.4,
+                           **QUICK)
+    assert stormed.render() == stream_serial.render()
+    assert stormed.execution.reshards + stormed.execution.steals >= 1
+
+
+def test_stream_churn_schedule_is_seeded_data(device):
+    """Churn draws from the keyed fleet channel: the membership
+    schedule repeats per seed, differs across seeds, and lands in the
+    rendered series."""
+    once = stream_sweep(device, seed=9, churn_rate=0.5, workers=1,
+                        **QUICK)
+    again = stream_sweep(device, seed=9, churn_rate=0.5, workers=1,
+                         **QUICK)
+    other = stream_sweep(device, seed=10, churn_rate=0.5, workers=1,
+                         **QUICK)
+    assert once.render() == again.render()
+    schedules = [(r.fleet, r.joined, r.left) for r in once.rounds]
+    assert schedules != [(r.fleet, r.joined, r.left)
+                         for r in other.rounds]
+    assert any(r.joined or r.left for r in once.rounds)
+    assert once.execution.churn_events \
+        == sum(len(r.joined) + len(r.left) for r in once.rounds)
+
+
+def test_stream_fleet_never_empties(device):
+    result = stream_sweep(device, seed=2, churn_rate=0.95, workers=1,
+                          **QUICK)
+    assert all(len(r.fleet) >= 1 for r in result.rounds)
+
+
+def test_stream_publish_cadence(device):
+    """publish_every > 1 holds the snapshot between refreshes: the
+    known-bug count a non-publish round runs with equals the previous
+    round's."""
+    result = stream_sweep(device, seed=5, publish_every=2, workers=1,
+                          rounds=4, fleet_size=2, apps=("K9-mail",),
+                          actions_per_round=8)
+    for entry in result.rounds:
+        assert entry.published == (entry.round_index % 2 == 0)
+    for prev, this in zip(result.rounds, result.rounds[1:]):
+        if not this.published:
+            assert this.known_bugs == prev.known_bugs
+            assert this.blocking_apis == prev.blocking_apis
+
+
+def test_stream_reproduces_crowd_cell_bit_for_bit(device):
+    """Acceptance criterion: with churn and executor faults zero and a
+    static fleet, the stream's aggregate equals the crowd sweep's cell
+    for the same fleet size, field for field."""
+    stream = stream_sweep(device, seed=3, rounds=2, fleet_size=2,
+                          apps=("K9-mail",), actions_per_round=8,
+                          workers=2)
+    crowd = crowd_sweep(device, seed=3, fleet_sizes=(2,), rounds=2,
+                        apps=("K9-mail",), actions_per_round=8,
+                        workers=1)
+    cell = crowd.cell(2)
+    assert stream.final_summary() == {
+        "phase2_collections": cell.phase2_collections,
+        "kb_short_circuits": cell.kb_short_circuits,
+        "bugs_detected": cell.bugs_detected,
+        "known_bugs": cell.known_bugs,
+        "new_blocking_apis": cell.new_blocking_apis,
+        "batches_ingested": cell.batches_ingested,
+        "batches_dropped": cell.batches_dropped,
+        "batches_duplicated": cell.batches_duplicated,
+        "batches_late": cell.batches_late,
+        "duplicates_ignored": cell.duplicates_ignored,
+    }
+
+
+def test_stream_resume_is_byte_identical(device, tmp_path):
+    """A checkpointed stream resumes from its journal and renders the
+    same bytes; the resumed run restores at least one shard instead of
+    recomputing everything."""
+    kwargs = dict(seed=5, churn_rate=0.25, workers=2, **QUICK)
+    clean = stream_sweep(device, **kwargs)
+    first = stream_sweep(device, checkpoint=str(tmp_path), **kwargs)
+    assert first.render() == clean.render()
+    resumed = stream_sweep(device, checkpoint=str(tmp_path),
+                           resume=True, **kwargs)
+    assert resumed.render() == clean.render()
+    assert resumed.execution.checkpoint_hits >= 1
+
+
+def test_stream_run_key_excludes_executor_knobs(device, tmp_path):
+    """Failure-schedule independence of resume: a journal written
+    under one storm serves a resume under a different storm (or none),
+    because executor knobs shape timing, never output."""
+    kwargs = dict(seed=5, churn_rate=0.25, workers=2, **QUICK)
+    stormed = stream_sweep(device, checkpoint=str(tmp_path),
+                           worker_kill_rate=0.4, **kwargs)
+    calm = stream_sweep(device, checkpoint=str(tmp_path), resume=True,
+                        **kwargs)
+    assert calm.render() == stormed.render()
+    assert calm.execution.checkpoint_hits >= 1
+
+
+def test_stream_validates_parameters(device):
+    with pytest.raises(ValueError, match="fleet_size"):
+        stream_sweep(device, fleet_size=0)
+    with pytest.raises(ValueError, match="rounds"):
+        stream_sweep(device, rounds=0)
+    with pytest.raises(ValueError, match="publish_every"):
+        stream_sweep(device, publish_every=0)
+    with pytest.raises(ValueError, match="churn_rate"):
+        stream_sweep(device, churn_rate=1.5)
+    with pytest.raises(ValueError, match="worker_kill_rate"):
+        stream_sweep(device, worker_kill_rate=-0.1)
+    with pytest.raises(ValueError, match="resume requires"):
+        stream_sweep(device, resume=True)
+
+
+def test_stream_result_render_mentions_series_and_aggregate(device,
+                                                            stream_serial):
+    text = stream_serial.render()
+    assert "Stream - " in text
+    assert "aggregate:" in text
+    assert isinstance(stream_serial, StreamResult)
+    assert stream_serial.device_rounds \
+        == sum(len(r.fleet) for r in stream_serial.rounds)
