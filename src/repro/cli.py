@@ -17,6 +17,10 @@ runs Hang Doctor over the synthetic fleet from a shell:
   churn, rolling KB republish, and the elastic shard scheduler
 * ``serve`` — run the live crowd ingestion service (HTTP, WAL-backed)
 * ``serve-bench`` — stress the ingestion service with a device fleet
+* ``slo`` — evaluate SLO error budgets over a telemetry directory
+  (exits nonzero when a budget is exhausted)
+* ``dash`` — render the terminal ops dashboard for a telemetry
+  directory (rollups, SLO status, top spans)
 """
 
 import argparse
@@ -133,7 +137,10 @@ def _emit_observability(args, session, report=None):
         return
     directory = getattr(args, "telemetry", None)
     if directory:
+        from repro.obs import write_obs_exports
+
         paths = telemetry.write_exports(session, directory, report=report)
+        paths += write_obs_exports(directory, session=session)
         print(f"telemetry: wrote {len(paths)} file(s) to {directory}/",
               file=sys.stderr)
     if getattr(args, "trace", False):
@@ -345,6 +352,49 @@ def cmd_serve_bench(args):
         raise SystemExit(
             "published snapshot does not match the batch baseline"
         )
+
+
+def cmd_slo(args):
+    """Evaluate SLO error budgets over a telemetry directory."""
+    from repro.obs import (
+        alerts_to_jsonl,
+        build_rollup,
+        evaluate_slos,
+        records_from_jsonl,
+        render_slo_table,
+    )
+
+    trace = pathlib.Path(args.directory) / "trace.jsonl"
+    if not trace.exists():
+        raise SystemExit(
+            f"no trace.jsonl in {args.directory}/ — run an experiment "
+            f"with --telemetry {args.directory} first"
+        )
+    rollup = build_rollup(records=records_from_jsonl(trace),
+                          window_ms=args.window_ms)
+    statuses, alerts = evaluate_slos(rollup)
+    if args.json:
+        print(json.dumps({"objectives": statuses, "alerts": alerts},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_slo_table(statuses))
+        print()
+        print(f"{len(alerts)} burn-rate alert(s)")
+        if alerts:
+            sys.stdout.write(alerts_to_jsonl(alerts))
+    exhausted = [s["objective"] for s in statuses if s["exhausted"]]
+    if exhausted:
+        raise SystemExit(
+            f"error budget exhausted: {', '.join(exhausted)}"
+        )
+
+
+def cmd_dash(args):
+    """Render the terminal ops dashboard for a telemetry directory."""
+    from repro.obs import render_dash
+
+    print(render_dash(args.directory, window_ms=args.window_ms,
+                      limit=args.limit))
 
 
 def cmd_filter(args):
@@ -679,6 +729,33 @@ def build_parser():
     bench.add_argument("--workers", type=_workers, default=1,
                        help=workers_help)
     bench.set_defaults(func=cmd_serve_bench)
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate SLO error budgets over a telemetry directory "
+             "(nonzero exit when a budget is exhausted)",
+    )
+    slo.add_argument("directory",
+                     help="a --telemetry export directory "
+                          "(needs trace.jsonl)")
+    slo.add_argument("--window-ms", type=float, default=1000.0,
+                     help="sim-clock rollup window width")
+    slo.add_argument("--json", action="store_true",
+                     help="emit objectives + alerts as JSON")
+    slo.set_defaults(func=cmd_slo)
+
+    dash = sub.add_parser(
+        "dash",
+        help="terminal ops dashboard for a telemetry directory "
+             "(rollups, SLO status, top spans)",
+    )
+    dash.add_argument("directory",
+                      help="a --telemetry export directory")
+    dash.add_argument("--window-ms", type=float, default=1000.0,
+                      help="sim-clock rollup window width")
+    dash.add_argument("--limit", type=int, default=8,
+                      help="rows per dashboard section")
+    dash.set_defaults(func=cmd_dash)
 
     filt = sub.add_parser("filter", help="the filter-design pipeline")
     filt.set_defaults(func=cmd_filter)

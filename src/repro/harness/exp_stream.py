@@ -388,6 +388,16 @@ def stream_sweep(device, seed=0, rounds=DEFAULT_ROUNDS, fleet_size=4,
                 total_phase2 += phase2
                 total_shorts += shorts
                 device_rounds += len(members)
+                # Deterministic per-round accounting on the trace
+                # channel: pure function of (seed, stream params), so
+                # the ops plane's round-domain rollups can be rebuilt
+                # from trace.jsonl alone, bit for bit.
+                tel.event(
+                    "stream.round.stats", float(round_index),
+                    round=round_index, fleet=len(members),
+                    phase2_collections=phase2, kb_short_circuits=shorts,
+                    **stats,
+                )
                 series.append(StreamRound(
                     round_index=round_index,
                     fleet=tuple(members),

@@ -1,0 +1,117 @@
+"""Profiling views: collapsed stacks and self-time attribution.
+
+Turns the deterministic span trace into the two classic profiling
+artifacts: a collapsed-stack file (``frame;frame;frame count``, the
+input format of Brendan Gregg's ``flamegraph.pl`` and of speedscope)
+and a per-phase self-time table.  Both operate on *records* — live
+:class:`~repro.telemetry.SpanRecord` objects or ``trace.jsonl``
+dicts — so they work in-process and offline.
+
+Stacks are reconstructed from the trace's ``(track, depth,
+containment)`` structure: a span's parent is the innermost span on
+the same track one level shallower whose time range contains it, and
+each stack line is ``track;ancestor;...;span``.  Counts are the
+span's *self* time (duration minus direct children) in integer
+microseconds, clamped at zero; lines sort lexicographically — with
+deterministic span times, the export is byte-identical whenever the
+trace is.
+"""
+
+from repro.obs.rollup import _norm
+
+
+def _spans_by_track(records):
+    by_track = {}
+    for record in records:
+        kind, name, start, end, attrs = _norm(record)
+        if kind != "span":
+            continue
+        if isinstance(record, dict):
+            track = record.get("track", "")
+            depth = record.get("depth", 0)
+        else:
+            track = record.track
+            depth = record.depth
+        by_track.setdefault(track, []).append(
+            (name, float(start), float(end), depth)
+        )
+    return by_track
+
+
+def _self_time(span, spans):
+    name, start, end, depth = span
+    child_time = sum(
+        c_end - c_start
+        for _, c_start, c_end, c_depth in spans
+        if c_depth == depth + 1 and c_start >= start and c_end <= end
+    )
+    return max((end - start) - child_time, 0.0)
+
+
+def _parent(span, spans):
+    """The innermost containing span one level shallower, or None."""
+    _, start, end, depth = span
+    best = None
+    for candidate in spans:
+        _, c_start, c_end, c_depth = candidate
+        if (c_depth == depth - 1 and c_start <= start and c_end >= end):
+            if best is None or c_start >= best[1]:
+                best = candidate
+    return best
+
+
+def collapse_stacks(records):
+    """Collapsed-stack lines for *records*, sorted, with counts in µs.
+
+    Zero-self-time stacks are kept (count 0) so the frame inventory is
+    stable across runs whose timing differs only in attribution.
+    """
+    totals = {}
+    for track, spans in _spans_by_track(records).items():
+        for span in spans:
+            frames = [span[0]]
+            node = span
+            while node[3] > 0:
+                parent = _parent(node, spans)
+                if parent is None:
+                    break
+                frames.append(parent[0])
+                node = parent
+            frames.append(track)
+            stack = ";".join(reversed(frames))
+            micros = int(round(_self_time(span, spans) * 1000))
+            totals[stack] = totals.get(stack, 0) + micros
+    return [f"{stack} {count}" for stack, count in sorted(totals.items())]
+
+
+def flamegraph_text(records):
+    """The full ``flamegraph.txt`` export (trailing newline)."""
+    lines = collapse_stacks(records)
+    return "".join(line + "\n" for line in lines)
+
+
+def self_time_rows(records, limit=10):
+    """Per-span-name self-time table from *records*.
+
+    Mirrors :func:`repro.telemetry.top_spans_by_self_time` but works
+    on raw records (including ``trace.jsonl`` dicts): rows carry
+    ``name``, ``count``, ``total_self``, ``mean_self``, sorted by
+    total self time descending then name.
+    """
+    totals = {}
+    for spans in _spans_by_track(records).values():
+        for span in spans:
+            entry = totals.setdefault(span[0], [0, 0.0])
+            entry[0] += 1
+            entry[1] += _self_time(span, spans)
+    rows = [
+        {
+            "name": name,
+            "count": count,
+            "total_self": total,
+            "mean_self": total / count if count else 0.0,
+        }
+        for name, (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row["total_self"], row["name"]))
+    return rows[:limit]

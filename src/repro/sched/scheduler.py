@@ -191,6 +191,13 @@ class ElasticScheduler:
                 f"need one weight per item, got {len(weights)} for "
                 f"{len(items)} items"
             )
+        # Deterministic dispatch accounting: counted at map() entry as
+        # a pure function of the inputs, never of dispatch rounds or
+        # journal hits — so the metrics export survives resume and
+        # executor storms byte-identically.
+        tel = _telemetry_current()
+        tel.count("sched.maps")
+        tel.count("sched.items.mapped", len(items))
         self.report.shards += 0  # parallel_map accounts per dispatch
         done = {}
         pending = list(range(len(items)))

@@ -283,6 +283,15 @@ class ServeClient:
 
     async def get(self, path):
         """GET *path*; returns the decoded JSON payload."""
+        _, body_text = await self.get_raw(path)
+        return json.loads(body_text)
+
+    async def get_raw(self, path):
+        """GET *path*; returns ``(head_text, body_text)`` undecoded.
+
+        The raw form serves non-JSON endpoints (``/metrics``) and
+        tests that assert on headers.
+        """
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
             writer.write((
@@ -298,5 +307,5 @@ class ServeClient:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-        _, _, body_text = raw.decode("utf-8").partition("\r\n\r\n")
-        return json.loads(body_text)
+        head, _, body_text = raw.decode("utf-8").partition("\r\n\r\n")
+        return head, body_text

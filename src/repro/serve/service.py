@@ -12,6 +12,10 @@ streams (the repo is stdlib-only by design — no aiohttp):
 * ``GET /readyz`` — readiness: 200 while accepting uploads, 503 once
   draining.
 * ``GET /v1/stats`` — ingestion counters as JSON.
+* ``GET /metrics`` — the same counters (plus request-latency
+  histograms) in Prometheus text exposition format, rendered from the
+  same snapshot the stats JSON uses (see ``docs/serve.md`` for the
+  consistency contract).
 * ``POST /v1/publish`` — force a snapshot publication.
 
 **Admission control.**  Two independent gates shed load *before* it
@@ -49,7 +53,10 @@ import json
 import time
 
 from repro.crowd.store import batch_from_dict
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.serve.state import ServiceState
+from repro.telemetry import MetricsRegistry, labeled
 from repro.telemetry import current as telemetry
 
 #: Default bound on batches queued for the fsync pipeline.
@@ -58,6 +65,21 @@ DEFAULT_MAX_QUEUE = 256
 DEFAULT_SNAPSHOT_EVERY = 512
 #: Largest accepted request body, in bytes.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: The ``/v1/stats`` counter keys, in their wire order.  The JSON
+#: shape predates the registry migration and is pinned byte-for-byte:
+#: these keys first, then ``queue_depth`` and ``batches``.
+STATS_KEYS = (
+    "ingested", "duplicates", "replayed", "shed_queue", "shed_tenant",
+    "rejected_draining", "bad_requests", "publishes",
+    "publish_failures", "write_failures",
+)
+
+#: Routes the service understands; anything else is labeled ``other``
+#: in the per-request metrics so stray paths cannot explode series
+#: cardinality.
+_KNOWN_PATHS = ("/healthz", "/metrics", "/readyz", "/v1/batches",
+                "/v1/publish", "/v1/stats")
 
 _STATUS_TEXT = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -121,12 +143,15 @@ class IngestService:
         self.tenant_burst = tenant_burst
         self.retry_after_s = retry_after_s
         self.clock = clock
-        self.stats = {
-            "ingested": 0, "duplicates": 0, "replayed": 0,
-            "shed_queue": 0, "shed_tenant": 0, "rejected_draining": 0,
-            "bad_requests": 0, "publishes": 0, "publish_failures": 0,
-            "write_failures": 0,
-        }
+        #: The single counter source.  Every number the service
+        #: reports — ``/v1/stats`` JSON, the :attr:`stats` view, and
+        #: the ``/metrics`` exposition — is a view over this registry,
+        #: mirroring the ``HangDoctor.metrics`` pattern.
+        self.metrics = MetricsRegistry()
+        # Pre-register every stats counter at zero so a fresh scrape
+        # of /metrics lists the same counters /v1/stats reports.
+        for key in STATS_KEYS:
+            self.metrics.count(f"serve.{key}", 0)
         self._queue = None
         self._writer_task = None
         self._server = None
@@ -139,7 +164,7 @@ class IngestService:
     async def start(self):
         """Recover state, start the writer, bind the socket."""
         self.state.recover()
-        self.stats["replayed"] = self.state.replayed
+        self._meter("replayed", self.state.replayed)
         telemetry().advisory_event(
             "serve.start", replayed=self.state.replayed,
             torn_tail_cut=self.state.torn_tail_cut,
@@ -170,8 +195,9 @@ class IngestService:
             await self._server.wait_closed()
         self.state.close()
         telemetry().advisory_event(
-            "serve.stop", ingested=self.stats["ingested"],
-            publishes=self.stats["publishes"],
+            "serve.stop",
+            ingested=self.metrics.counter_value("serve.ingested"),
+            publishes=self.metrics.counter_value("serve.publishes"),
         )
 
     async def abort(self):
@@ -202,6 +228,45 @@ class IngestService:
         """The bound ``host:port``."""
         return f"{self.host}:{self.port}"
 
+    # ------------------------------------------------------------- metrics
+
+    def _meter(self, key, n=1):
+        """Increment one service counter (``serve.<key>``)."""
+        self.metrics.count(f"serve.{key}", n)
+
+    @property
+    def stats(self):
+        """The ingestion counters as a plain dict (a registry view)."""
+        return {
+            key: self.metrics.counter_value(f"serve.{key}")
+            for key in STATS_KEYS
+        }
+
+    def _snapshot(self):
+        """One consistent registry snapshot (the scrape contract).
+
+        Queue depth and aggregated-batch count are sampled into gauges
+        immediately before the state copy, all within one event-loop
+        step with no await in between — so every value in a scraped
+        ``/v1/stats`` or ``/metrics`` response describes the same
+        instant, never a queue depth newer than its counters.
+        """
+        depth = self._queue.qsize() if self._queue is not None else 0
+        self.metrics.gauge_set("serve.queue.depth", float(depth))
+        self.metrics.gauge_set(
+            "serve.batches.aggregated", float(len(self.state.aggregator))
+        )
+        return self.metrics.state()
+
+    def _observe_request(self, path, status, elapsed_ms):
+        """Per-request latency, labeled by route and status class."""
+        route = path if path in _KNOWN_PATHS else "other"
+        self.metrics.observe(
+            labeled("serve.http.latency_ms", route=route,
+                    status=f"{status // 100}xx"),
+            elapsed_ms,
+        )
+
     # ---------------------------------------------------------- the writer
 
     async def _writer(self):
@@ -213,7 +278,7 @@ class IngestService:
             try:
                 self.state.log([batch for batch, _ in group])
             except Exception as error:
-                self.stats["write_failures"] += len(group)
+                self._meter("write_failures", len(group))
                 telemetry().advisory_event(
                     "serve.write_failure", batches=len(group),
                     error=type(error).__name__,
@@ -225,10 +290,10 @@ class IngestService:
                 continue
             for batch, future in group:
                 if self.state.ingest(batch):
-                    self.stats["ingested"] += 1
+                    self._meter("ingested")
                     status = "ingested"
                 else:
-                    self.stats["duplicates"] += 1
+                    self._meter("duplicates")
                     status = "duplicate"
                 self._since_publish += 1
                 if not future.done():
@@ -242,12 +307,12 @@ class IngestService:
         try:
             self.state.publish()
         except Exception as error:
-            self.stats["publish_failures"] += 1
+            self._meter("publish_failures")
             telemetry().advisory_event(
                 "serve.publish_failure", error=type(error).__name__,
             )
             return
-        self.stats["publishes"] += 1
+        self._meter("publishes")
         self._since_publish = 0
         telemetry().advisory_event(
             "serve.publish", batches=len(self.state.aggregator),
@@ -257,12 +322,19 @@ class IngestService:
     # -------------------------------------------------------- the handler
 
     async def _handle(self, reader, writer):
+        started = self.clock()
         try:
             request = await self._read_request(reader)
             if request is None:
+                self._observe_request(
+                    "other", 400, (self.clock() - started) * 1000.0
+                )
                 await self._respond(writer, 400, {"error": "bad request"})
                 return
             status, payload, headers = await self._route(request)
+            self._observe_request(
+                request.path, status, (self.clock() - started) * 1000.0
+            )
             await self._respond(writer, status, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
@@ -283,36 +355,48 @@ class IngestService:
                 return 503, {"status": "draining"}, {}
             return 200, {"status": "ready"}, {}
         if key == ("GET", "/v1/stats"):
-            stats = dict(self.stats)
-            stats["queue_depth"] = self._queue.qsize()
-            stats["batches"] = len(self.state.aggregator)
+            snapshot = self._snapshot()
+            counters = snapshot["counters"]
+            stats = {
+                name: counters.get(f"serve.{name}", 0)
+                for name in STATS_KEYS
+            }
+            stats["queue_depth"] = int(
+                snapshot["gauges"]["serve.queue.depth"]
+            )
+            stats["batches"] = int(
+                snapshot["gauges"]["serve.batches.aggregated"]
+            )
             return 200, stats, {}
+        if key == ("GET", "/metrics"):
+            return 200, render_prometheus(self._snapshot()), {
+                "Content-Type": _PROM_CONTENT_TYPE
+            }
         if key == ("POST", "/v1/publish"):
             self._publish()
             return 200, {"published": len(self.state.aggregator)}, {}
         if key == ("POST", "/v1/batches"):
             return await self._ingest_request(request)
-        if request.path in ("/healthz", "/readyz", "/v1/stats",
-                            "/v1/publish", "/v1/batches"):
+        if request.path in _KNOWN_PATHS:
             return 405, {"error": "method not allowed"}, {}
         return 404, {"error": "no such endpoint"}, {}
 
     async def _ingest_request(self, request):
         """The upload path: admission gates, then the durable queue."""
         if self._draining:
-            self.stats["rejected_draining"] += 1
+            self._meter("rejected_draining")
             return 503, {"error": "draining"}, {
                 "Retry-After": f"{self.retry_after_s:g}"
             }
         try:
             batch = batch_from_dict(json.loads(request.body))
         except ValueError as error:
-            self.stats["bad_requests"] += 1
+            self._meter("bad_requests")
             return 400, {"error": str(error)}, {}
         tenant = request.headers.get("x-tenant", batch.app_name)
         admitted, wait_s = self._admit(tenant)
         if not admitted:
-            self.stats["shed_tenant"] += 1
+            self._meter("shed_tenant")
             telemetry().advisory_event("serve.shed", gate="tenant",
                                        tenant=tenant)
             return 429, {"error": "tenant rate exceeded"}, {
@@ -322,7 +406,7 @@ class IngestService:
         try:
             self._queue.put_nowait((batch, future))
         except asyncio.QueueFull:
-            self.stats["shed_queue"] += 1
+            self._meter("shed_queue")
             telemetry().advisory_event("serve.shed", gate="queue",
                                        tenant=tenant)
             return 429, {"error": "ingest queue full"}, {
@@ -369,14 +453,22 @@ class IngestService:
         return _Request(method, path, headers, body.decode("utf-8"))
 
     async def _respond(self, writer, status, payload, headers=None):
-        body = json.dumps(payload).encode("utf-8")
+        headers = dict(headers or {})
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = headers.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = headers.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        for name, value in (headers or {}).items():
+        for name, value in headers.items():
             lines.append(f"{name}: {value}")
         writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
         writer.write(body)

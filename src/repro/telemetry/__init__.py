@@ -46,7 +46,11 @@ from repro.telemetry.exporters import (
     top_spans_by_self_time,
     write_exports,
 )
-from repro.telemetry.metrics import DEFAULT_BUCKETS_MS, MetricsRegistry
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS_MS,
+    MetricsRegistry,
+    labeled,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
@@ -68,6 +72,7 @@ __all__ = [
     "export_chrome_trace",
     "export_jsonl",
     "export_metrics_text",
+    "labeled",
     "render_trace_summary",
     "session",
     "span_self_times",

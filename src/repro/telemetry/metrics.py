@@ -28,6 +28,39 @@ DEFAULT_BUCKETS_MS = (
     1000.0, 2000.0, 5000.0,
 )
 
+#: Characters that may not appear in label keys or values — they are
+#: the delimiters of the encoded form.
+_LABEL_FORBIDDEN = frozenset('{},="')
+
+
+def labeled(name, **labels):
+    """Encode *labels* into a metric name, canonically.
+
+    The registry itself is label-unaware: a labeled series is just a
+    metric whose name carries its labels in a fixed textual form,
+    ``name{key=value,...}`` with keys sorted — so the same label set
+    always produces the same registry key, and the Prometheus renderer
+    (:mod:`repro.obs.prometheus`) can split them back out.  Keys and
+    values must avoid the delimiter characters ``{ } , = "``.
+
+    >>> labeled("serve.http.requests", status="2xx", route="/healthz")
+    'serve.http.requests{route=/healthz,status=2xx}'
+    """
+    if not labels:
+        return name
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        for text in (key, value):
+            bad = _LABEL_FORBIDDEN.intersection(text)
+            if bad:
+                raise ValueError(
+                    f"label {key}={value!r} contains reserved "
+                    f"character(s) {sorted(bad)}"
+                )
+        parts.append(f"{key}={value}")
+    return name + "{" + ",".join(parts) + "}"
+
 
 class MetricsRegistry:
     """Counters, gauges, and fixed-bucket histograms under one namespace.
@@ -96,6 +129,22 @@ class MetricsRegistry:
         if hist is None:
             return 0, 0.0
         return hist[2], hist[3]
+
+    def histogram_buckets(self, name):
+        """``(bounds, counts)`` of histogram *name*, or None.
+
+        *bounds* are the finite upper bounds; *counts* has one extra
+        trailing slot for the implicit +inf bucket.  Both come back as
+        fresh tuples, so callers cannot corrupt the registry.
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            return None
+        return tuple(hist[0]), tuple(hist[1])
+
+    def counter_names(self):
+        """Sorted counter names currently present."""
+        return sorted(self._counters)
 
     def empty(self):
         """True when nothing has been recorded."""

@@ -72,3 +72,47 @@ def test_stream_quick_renders_series_and_report(capsys):
 def test_stream_resume_requires_checkpoint():
     with pytest.raises(SystemExit, match="--resume requires"):
         main(["stream", "--quick", "--resume"])
+
+
+def _write_trace(directory, doctor_ms):
+    """A minimal telemetry dir: one action whose doctor span lasts
+    *doctor_ms* inside a 1-second execution."""
+    from repro.telemetry import session, write_exports
+
+    with session() as tel:
+        with tel.track("app/demo"):
+            tel.record_span("sim.action.execute", 0.0, 1000.0)
+            tel.record_span("core.action.process", 0.0, doctor_ms)
+            tel.record_span("core.diagnoser.collect", 0.0, 10.0)
+    write_exports(tel, directory)
+
+
+def test_slo_healthy_trace_exits_zero(capsys, tmp_path):
+    _write_trace(tmp_path, doctor_ms=50.0)
+    out = run_cli(capsys, "slo", str(tmp_path))
+    assert "detection-latency" in out
+    assert "EXHAUSTED" not in out
+
+
+def test_slo_exhausted_budget_exits_nonzero(tmp_path):
+    _write_trace(tmp_path, doctor_ms=900.0)
+    with pytest.raises(SystemExit, match="error budget exhausted"):
+        main(["slo", str(tmp_path)])
+
+
+def test_slo_json_mode(capsys, tmp_path):
+    import json
+
+    _write_trace(tmp_path, doctor_ms=50.0)
+    out = run_cli(capsys, "slo", str(tmp_path), "--json")
+    payload = json.loads(out)
+    names = [s["objective"] for s in payload["objectives"]]
+    assert "detection-latency" in names
+    assert payload["alerts"] == []
+
+
+def test_dash_renders_sections(capsys, tmp_path):
+    _write_trace(tmp_path, doctor_ms=50.0)
+    out = run_cli(capsys, "dash", str(tmp_path))
+    assert "-- SLOs --" in out
+    assert "-- top spans by self time --" in out

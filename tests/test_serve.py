@@ -384,6 +384,78 @@ def test_service_rejects_malformed_batch_with_400(tmp_path):
     run(scenario())
 
 
+def test_service_metrics_exposition_agrees_with_stats(tmp_path):
+    """``/metrics`` and ``/v1/stats`` are views over one registry: on
+    a drained server every stats counter matches its exposition
+    sample, and per-request latency histograms appear with the full
+    cumulative ``_bucket``/``_sum``/``_count`` shape."""
+    async def scenario():
+        service = await _started(tmp_path)
+        client = ServeClient("127.0.0.1", service.port, seed=1)
+        batch = flat(fleet(2, 1))[0]
+        assert await client.upload(batch) == "ingested"
+        assert await client.upload(batch) == "duplicate"
+        stats = await client.get("/v1/stats")
+        head, body = await client.get_raw("/metrics")
+        await service.stop()
+        return stats, head, body
+
+    stats, head, body = run(scenario())
+    assert "Content-Type: text/plain; version=0.0.4" in head
+    samples = {}
+    for line in body.splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = value
+    # Every /v1/stats counter has an identical exposition sample.
+    for key in ("ingested", "duplicates", "replayed", "shed_queue",
+                "publishes", "write_failures"):
+        assert samples[f"serve_{key}"] == str(stats[key]), key
+    assert samples["serve_queue_depth"] == str(stats["queue_depth"])
+    # The upload route's latency histogram, labeled by route and
+    # status class, with the cumulative bucket tail.
+    labels = '{route="/v1/batches",status="2xx"}'
+    count = int(samples[f"serve_http_latency_ms_count{labels}"])
+    assert count == 2  # the two uploads
+    inf = f'serve_http_latency_ms_bucket{{route="/v1/batches",' \
+          f'status="2xx",le="+Inf"}}'
+    assert int(samples[inf]) == count
+    assert f"serve_http_latency_ms_sum{labels}" in samples
+    # /v1/stats itself was observed too (route label, status 2xx).
+    stats_labels = '{route="/v1/stats",status="2xx"}'
+    assert f"serve_http_latency_ms_count{stats_labels}" in samples
+
+
+def test_service_stats_snapshot_is_consistent(tmp_path):
+    """Queue depth in ``/v1/stats`` comes from the same snapshot as
+    the counters (no live ``qsize()`` re-read), and the JSON key
+    order is the pinned wire order."""
+    from repro.serve.service import STATS_KEYS
+
+    async def scenario():
+        service = await _started(tmp_path, max_queue=8)
+        loop = asyncio.get_running_loop()
+        for _ in range(3):
+            service._queue.put_nowait((None, loop.create_future()))
+        status, payload, _ = await service._route(
+            _Request("GET", "/v1/stats", {}, "")
+        )
+        assert status == 200
+        assert payload["queue_depth"] == 3
+        assert list(payload) == list(STATS_KEYS) + [
+            "queue_depth", "batches"
+        ]
+        # The stats property is a registry view with the same keys.
+        assert list(service.stats) == list(STATS_KEYS)
+        while not service._queue.empty():
+            service._queue.get_nowait()
+            service._queue.task_done()
+        await service.stop()
+
+    run(scenario())
+
+
 def test_service_never_acks_torn_group_then_recovers(tmp_path):
     """A torn WAL append 500s the whole group; unacked batches retry
     and the final snapshot still matches the batch path."""
